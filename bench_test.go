@@ -1,0 +1,406 @@
+// Package pciebench's top-level benchmarks regenerate each table and
+// figure of the paper's evaluation as a testing.B target, reporting the
+// headline metric of the artifact via b.ReportMetric. The per-experiment
+// index in DESIGN.md maps every benchmark to its figure.
+//
+// Run all of them with:
+//
+//	go test -bench=. -benchmem
+package pciebench
+
+import (
+	"testing"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/iommu"
+	"pciebench/internal/mem"
+	"pciebench/internal/model"
+	"pciebench/internal/nicsim"
+	"pciebench/internal/pcie"
+	"pciebench/internal/report"
+	"pciebench/internal/sim"
+	"pciebench/internal/sysconf"
+	"pciebench/internal/tlp"
+)
+
+// mustBuild assembles a system or fails the benchmark.
+func mustBuild(b *testing.B, name string, opt sysconf.Options) *sysconf.Instance {
+	b.Helper()
+	sys, err := sysconf.ByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst, err := sys.Build(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return inst
+}
+
+// BenchmarkFig1_NICModels evaluates the analytical Figure 1 curves
+// (effective PCIe bandwidth and the three NIC/driver designs) across
+// the full transfer-size sweep.
+func BenchmarkFig1_NICModels(b *testing.B) {
+	cfg := pcie.DefaultGen3x8()
+	designs := []model.NIC{model.SimpleNIC(), model.ModernNICKernel(), model.ModernNICDPDK()}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		for sz := 64; sz <= 1520; sz += 16 {
+			last = model.EffectiveBidirBandwidth(cfg, sz)
+			for _, d := range designs {
+				last += d.Bandwidth(cfg, sz)
+			}
+		}
+	}
+	b.ReportMetric(model.EffectiveBidirBandwidth(cfg, 1520)/1e9, "Gb/s@1520")
+	_ = last
+}
+
+// BenchmarkFig2_LoopbackLatency measures the ExaNIC-style loopback
+// round trip for 128B frames and reports the median and PCIe share.
+func BenchmarkFig2_LoopbackLatency(b *testing.B) {
+	inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+	inst.Buffer.WarmHost(0, 64<<10)
+	var med sim.Time
+	var frac float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(), inst.Buffer.DMAAddr(0), 128, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		med, frac = nicsim.MedianLoopback(samples)
+	}
+	b.ReportMetric(med.Nanoseconds(), "ns/roundtrip")
+	b.ReportMetric(frac*100, "%PCIe")
+}
+
+// BenchmarkTable1_Systems assembles all six Table 1 systems.
+func BenchmarkTable1_Systems(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, s := range sysconf.Systems() {
+			if _, err := s.Build(sysconf.Options{BufferSize: 1 << 20}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(len(sysconf.Systems())), "systems")
+}
+
+// benchBandwidth runs one Figure 4 bandwidth point per iteration.
+func benchBandwidth(b *testing.B, run func(*bench.Target, bench.Params) (*bench.BandwidthResult, error), sz int) {
+	var gbps float64
+	for i := 0; i < b.N; i++ {
+		inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+		res, err := run(inst.Target(), bench.Params{
+			WindowSize: 8 << 10, TransferSize: sz,
+			Cache: bench.HostWarm, Transactions: 20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gbps = res.Gbps
+	}
+	b.ReportMetric(gbps, "Gb/s")
+}
+
+// BenchmarkFig4a_ReadBandwidth regenerates the 64B BW_RD point of
+// Figure 4a (paper: ~30 Gb/s on NFP6000-HSW).
+func BenchmarkFig4a_ReadBandwidth(b *testing.B) { benchBandwidth(b, bench.BwRd, 64) }
+
+// BenchmarkFig4b_WriteBandwidth regenerates the 64B BW_WR point of
+// Figure 4b.
+func BenchmarkFig4b_WriteBandwidth(b *testing.B) { benchBandwidth(b, bench.BwWr, 64) }
+
+// BenchmarkFig4c_ReadWriteBandwidth regenerates the 512B BW_RDWR point
+// of Figure 4c.
+func BenchmarkFig4c_ReadWriteBandwidth(b *testing.B) { benchBandwidth(b, bench.BwRdWr, 512) }
+
+// BenchmarkFig5_LatencyVsSize regenerates the Figure 5 median LAT_RD
+// at 64B and 2048B on the NFP, reporting both.
+func BenchmarkFig5_LatencyVsSize(b *testing.B) {
+	var m64, m2048 float64
+	for i := 0; i < b.N; i++ {
+		for _, sz := range []int{64, 2048} {
+			inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+			res, err := bench.LatRd(inst.Target(), bench.Params{
+				WindowSize: 8 << 10, TransferSize: sz,
+				Cache: bench.HostWarm, Transactions: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sz == 64 {
+				m64 = res.Summary.Median
+			} else {
+				m2048 = res.Summary.Median
+			}
+		}
+	}
+	b.ReportMetric(m64, "ns@64B")
+	b.ReportMetric(m2048, "ns@2048B")
+}
+
+// BenchmarkFig6_LatencyCDF regenerates the Figure 6 E3 tail and
+// reports its median and p99.
+func BenchmarkFig6_LatencyCDF(b *testing.B) {
+	var med, p99 float64
+	for i := 0; i < b.N; i++ {
+		inst := mustBuild(b, "NFP6000-HSW-E3", sysconf.Options{BufferSize: 1 << 20, Seed: 17})
+		res, err := bench.LatRd(inst.Target(), bench.Params{
+			WindowSize: 8 << 10, TransferSize: 64,
+			Cache: bench.HostWarm, Transactions: 20000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		med, p99 = res.Summary.Median, res.Summary.P99
+	}
+	b.ReportMetric(med, "ns-median")
+	b.ReportMetric(p99, "ns-p99")
+}
+
+// BenchmarkFig7a_CacheLatency regenerates the Figure 7a warm-vs-cold
+// 8B read latency delta inside the LLC.
+func BenchmarkFig7a_CacheLatency(b *testing.B) {
+	var warm, cold float64
+	for i := 0; i < b.N; i++ {
+		for _, cache := range []bench.CacheState{bench.HostWarm, bench.Cold} {
+			inst := mustBuild(b, "NFP6000-SNB", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+			res, err := bench.LatRd(inst.Target(), bench.Params{
+				WindowSize: 64 << 10, TransferSize: 8, Direct: true,
+				Cache: cache, Transactions: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cache == bench.HostWarm {
+				warm = res.Summary.Median
+			} else {
+				cold = res.Summary.Median
+			}
+		}
+	}
+	b.ReportMetric(cold-warm, "ns-warm-benefit")
+}
+
+// BenchmarkFig7b_CacheBandwidth regenerates the Figure 7b 64B warm/cold
+// read-bandwidth pair inside the LLC.
+func BenchmarkFig7b_CacheBandwidth(b *testing.B) {
+	var warm, cold float64
+	for i := 0; i < b.N; i++ {
+		for _, cache := range []bench.CacheState{bench.HostWarm, bench.Cold} {
+			inst := mustBuild(b, "NFP6000-SNB", sysconf.Options{BufferSize: 4 << 20, NoJitter: true})
+			res, err := bench.BwRd(inst.Target(), bench.Params{
+				WindowSize: 1 << 20, TransferSize: 64,
+				Cache: cache, Transactions: 20000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if cache == bench.HostWarm {
+				warm = res.Gbps
+			} else {
+				cold = res.Gbps
+			}
+		}
+	}
+	b.ReportMetric(warm, "Gb/s-warm")
+	b.ReportMetric(cold, "Gb/s-cold")
+}
+
+// BenchmarkFig8_NUMA regenerates the Figure 8 64B local-vs-remote
+// bandwidth comparison inside the cache window.
+func BenchmarkFig8_NUMA(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		run := func(node int) float64 {
+			inst := mustBuild(b, "NFP6000-BDW", sysconf.Options{NoJitter: true, BufferNode: node})
+			res, err := bench.BwRd(inst.Target(), bench.Params{
+				WindowSize: 64 << 10, TransferSize: 64,
+				Cache: bench.HostWarm, Transactions: 20000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Gbps
+		}
+		local, remote := run(0), run(1)
+		pct = 100 * (remote - local) / local
+	}
+	b.ReportMetric(pct, "%remote-penalty")
+}
+
+// BenchmarkFig9_IOMMU regenerates the Figure 9 64B IOMMU cliff: the
+// bandwidth change beyond the IO-TLB reach.
+func BenchmarkFig9_IOMMU(b *testing.B) {
+	var pct float64
+	for i := 0; i < b.N; i++ {
+		run := func(on bool) float64 {
+			inst := mustBuild(b, "NFP6000-BDW", sysconf.Options{NoJitter: true, IOMMU: on})
+			res, err := bench.BwRd(inst.Target(), bench.Params{
+				WindowSize: 16 << 20, TransferSize: 64,
+				Cache: bench.HostWarm, Transactions: 20000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Gbps
+		}
+		off, on := run(false), run(true)
+		pct = 100 * (on - off) / off
+	}
+	b.ReportMetric(pct, "%iommu-change")
+}
+
+// BenchmarkTable2_Findings derives the Table 2 findings end to end.
+func BenchmarkTable2_Findings(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		t, err := report.Table2(report.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = len(t.Rows)
+	}
+	b.ReportMetric(float64(rows), "findings")
+}
+
+// ---- Ablation benchmarks: the design choices DESIGN.md calls out ----
+
+// BenchmarkAblation_MPS quantifies how the negotiated Maximum Payload
+// Size changes effective bidirectional bandwidth at 1500B.
+func BenchmarkAblation_MPS(b *testing.B) {
+	var out []float64
+	for i := 0; i < b.N; i++ {
+		out = out[:0]
+		for _, mps := range []int{128, 256, 512} {
+			cfg := pcie.DefaultGen3x8()
+			cfg.MPS = mps
+			out = append(out, model.EffectiveBidirBandwidth(cfg, 1500)/1e9)
+		}
+	}
+	b.ReportMetric(out[0], "Gb/s-mps128")
+	b.ReportMetric(out[2], "Gb/s-mps512")
+}
+
+// BenchmarkAblation_LinkGeneration projects the paper's headline
+// numbers onto Gen4 (the "once hardware is available" note in §6).
+func BenchmarkAblation_LinkGeneration(b *testing.B) {
+	var g3, g4 float64
+	for i := 0; i < b.N; i++ {
+		cfg := pcie.DefaultGen3x8()
+		g3 = model.EffectiveBidirBandwidth(cfg, 1500) / 1e9
+		cfg.Gen = pcie.Gen4
+		g4 = model.EffectiveBidirBandwidth(cfg, 1500) / 1e9
+	}
+	b.ReportMetric(g3, "Gb/s-gen3")
+	b.ReportMetric(g4, "Gb/s-gen4")
+}
+
+// BenchmarkAblation_IOMMUWalkers shows how the page-walker pool size
+// (the Fig 9 mechanism) moves the 64B post-cliff bandwidth.
+func BenchmarkAblation_IOMMUWalkers(b *testing.B) {
+	var w1, w6 float64
+	for i := 0; i < b.N; i++ {
+		run := func(walkers int) float64 {
+			cfg := iommu.DefaultConfig()
+			cfg.Walkers = walkers
+			inst := mustBuild(b, "NFP6000-BDW", sysconf.Options{
+				NoJitter: true, IOMMU: true, IOMMUConfig: &cfg,
+			})
+			res, err := bench.BwRd(inst.Target(), bench.Params{
+				WindowSize: 16 << 20, TransferSize: 64,
+				Cache: bench.HostWarm, Transactions: 10000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Gbps
+		}
+		w1, w6 = run(1), run(6)
+	}
+	b.ReportMetric(w1, "Gb/s-1walker")
+	b.ReportMetric(w6, "Gb/s-6walkers")
+}
+
+// BenchmarkAblation_DDIOWays varies the DDIO allocation quota and
+// reports the cold 8B write+read latency beyond the default region.
+func BenchmarkAblation_DDIOWays(b *testing.B) {
+	var narrow, wide float64
+	for i := 0; i < b.N; i++ {
+		run := func(ways int) float64 {
+			sys, err := sysconf.ByName("NFP6000-SNB")
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.DDIOWays = ways
+			inst, err := sys.Build(sysconf.Options{NoJitter: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := bench.LatWrRd(inst.Target(), bench.Params{
+				WindowSize: 4 << 20, TransferSize: 8, Direct: true,
+				Cache: bench.Cold, Transactions: 2000,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Summary.Median
+		}
+		narrow, wide = run(2), run(16)
+	}
+	b.ReportMetric(narrow, "ns-2ways")
+	b.ReportMetric(wide, "ns-16ways")
+}
+
+// ---- Hot-path micro-benchmarks ----
+
+// BenchmarkTLPEncodeDecode measures the protocol tier's packet
+// round-trip cost.
+func BenchmarkTLPEncodeDecode(b *testing.B) {
+	w := tlp.MemWrite{Addr: 0x1000, Data: make([]byte, 256), FirstBE: 0xF, LastBE: 0xF, Addr64: true}
+	buf := make([]byte, 0, 512)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = w.AppendTo(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out tlp.MemWrite
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCacheDeviceAccess measures the LLC model's per-access cost,
+// which bounds simulator throughput.
+func BenchmarkCacheDeviceAccess(b *testing.B) {
+	c := mem.NewCache(mem.CacheConfig{SizeBytes: 15 << 20, Ways: 20, LineSize: 64, DDIOWays: 2})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		addr := uint64(i%100000) * 64
+		if i%2 == 0 {
+			c.DeviceWrite(addr, true)
+		} else {
+			c.DeviceRead(addr)
+		}
+	}
+}
+
+// BenchmarkSimulatedDMARate measures end-to-end simulated DMA
+// throughput (simulated transactions per wall second).
+func BenchmarkSimulatedDMARate(b *testing.B) {
+	inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+	b.ResetTimer()
+	res, err := bench.BwRd(inst.Target(), bench.Params{
+		WindowSize: 8 << 10, TransferSize: 64,
+		Cache: bench.HostWarm, Transactions: b.N,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(res.Gbps, "sim-Gb/s")
+}

@@ -1,0 +1,179 @@
+// Command pcie-bench runs individual pcie-bench micro-benchmarks
+// against a simulated system from the paper's Table 1, mirroring the
+// control programs of paper §5.4.
+//
+// Examples:
+//
+//	pcie-bench -list
+//	pcie-bench -system NFP6000-HSW -bench lat_rd -transfer 64 -cache warm
+//	pcie-bench -system NFP6000-BDW -bench bw_rd -transfer 64 -window 16M -iommu
+//	pcie-bench -system NFP6000-HSW-E3 -bench lat_rd -n 100000 -cdf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/sysconf"
+)
+
+func parseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list systems and exit")
+		system   = flag.String("system", "NFP6000-HSW", "system under test (see -list)")
+		benchSel = flag.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr")
+		window   = flag.String("window", "8K", "window size (supports K/M/G suffixes)")
+		transfer = flag.Int("transfer", 64, "transfer size in bytes")
+		offset   = flag.Int("offset", 0, "offset from cache line start")
+		pattern  = flag.String("pattern", "rand", "rand|seq")
+		cache    = flag.String("cache", "warm", "cold|warm|devwarm")
+		n        = flag.Int("n", 10000, "measured transactions")
+		node     = flag.Int("node", 0, "NUMA node for the host buffer")
+		iommuOn  = flag.Bool("iommu", false, "enable the IOMMU (4KB mappings)")
+		sp       = flag.Bool("sp", false, "use superpage IOMMU mappings")
+		direct   = flag.Bool("direct", false, "use the device's direct command interface")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		cdf      = flag.Bool("cdf", false, "print the latency CDF (latency benches)")
+		suite    = flag.Bool("suite", false, "run the full ~2000-test matrix (paper §5.4) and print a TSV report")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range sysconf.Systems() {
+			fmt.Printf("%-16s %-28s %-12s %s\n", s.Name, s.CPU, s.Arch, s.Adapter)
+		}
+		return
+	}
+
+	if *suite {
+		sys, err := sysconf.ByName(*system)
+		if err != nil {
+			fatal(err)
+		}
+		inst, err := sys.Build(sysconf.Options{Seed: *seed, IOMMU: *iommuOn, SuperPages: *sp})
+		if err != nil {
+			fatal(err)
+		}
+		cfg := bench.DefaultSuite()
+		results, err := bench.RunSuite(inst.Target(), cfg, func(done, total int) {
+			if done%100 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d", done, total)
+			}
+		})
+		fmt.Fprintln(os.Stderr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(bench.RenderSuite(results))
+		return
+	}
+
+	sys, err := sysconf.ByName(*system)
+	if err != nil {
+		fatal(err)
+	}
+	win, err := parseSize(*window)
+	if err != nil {
+		fatal(err)
+	}
+	inst, err := sys.Build(sysconf.Options{
+		Seed:       *seed,
+		IOMMU:      *iommuOn,
+		SuperPages: *sp,
+		BufferNode: *node,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	p := bench.Params{
+		WindowSize:   win,
+		TransferSize: *transfer,
+		Offset:       *offset,
+		Transactions: *n,
+		Direct:       *direct,
+	}
+	switch *pattern {
+	case "seq":
+		p.Pattern = bench.Sequential
+	case "rand":
+		p.Pattern = bench.Random
+	default:
+		fatal(fmt.Errorf("unknown pattern %q", *pattern))
+	}
+	switch *cache {
+	case "cold":
+		p.Cache = bench.Cold
+	case "warm":
+		p.Cache = bench.HostWarm
+	case "devwarm":
+		p.Cache = bench.DeviceWarm
+	default:
+		fatal(fmt.Errorf("unknown cache state %q", *cache))
+	}
+
+	tgt := inst.Target()
+	fmt.Printf("# %s on %s (%s): %s\n", *benchSel, sys.Name, sys.Adapter, p)
+	switch *benchSel {
+	case "lat_rd", "lat_wrrd":
+		run := bench.LatRd
+		if *benchSel == "lat_wrrd" {
+			run = bench.LatWrRd
+		}
+		res, err := run(tgt, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %s\n", res.Name, res.Summary)
+		if *cdf {
+			c, err := res.CDF()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(c.TSV())
+		}
+	case "bw_rd", "bw_wr", "bw_rdwr":
+		run := bench.BwRd
+		switch *benchSel {
+		case "bw_wr":
+			run = bench.BwWr
+		case "bw_rdwr":
+			run = bench.BwRdWr
+		}
+		res, err := run(tgt, p)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s %.3f Gb/s  %.2fM txn/s  elapsed %v\n",
+			res.Name, res.Gbps, res.TxnPerSec/1e6, res.Elapsed)
+	default:
+		fatal(fmt.Errorf("unknown benchmark %q", *benchSel))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcie-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,109 @@
+// Command pcie-model evaluates the analytical PCIe model of paper §3:
+// effective link bandwidth and NIC/driver throughput curves for
+// arbitrary link configurations, printed as TSV for plotting.
+//
+// Examples:
+//
+//	pcie-model                         # Figure 1 curves, Gen3 x8
+//	pcie-model -gen 4 -lanes 16        # a Gen4 x16 link
+//	pcie-model -nic simple -sizes 64,512,1500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pciebench/internal/model"
+	"pciebench/internal/pcie"
+)
+
+func main() {
+	var (
+		gen     = flag.Int("gen", 3, "PCIe generation (1..5)")
+		lanes   = flag.Int("lanes", 8, "lane count (1,2,4,8,16,32)")
+		mps     = flag.Int("mps", 256, "maximum payload size")
+		mrrs    = flag.Int("mrrs", 512, "maximum read request size")
+		nic     = flag.String("nic", "all", "curve: effective|read|write|simple|kernel|dpdk|all")
+		sizes   = flag.String("sizes", "", "comma-separated transfer sizes (default 64..1520 step 16)")
+		ethGbps = flag.Float64("eth", 40, "Ethernet reference line rate in Gb/s (0 = omit)")
+	)
+	flag.Parse()
+
+	cfg := pcie.DefaultGen3x8()
+	cfg.Gen = pcie.Generation(*gen)
+	cfg.Lanes = *lanes
+	cfg.MPS = *mps
+	cfg.MRRS = *mrrs
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "pcie-model:", err)
+		os.Exit(1)
+	}
+
+	var szList []int
+	if *sizes == "" {
+		for sz := 64; sz <= 1520; sz += 16 {
+			szList = append(szList, sz)
+		}
+	} else {
+		for _, f := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "pcie-model: bad size %q\n", f)
+				os.Exit(1)
+			}
+			szList = append(szList, v)
+		}
+	}
+
+	type curve struct {
+		name string
+		fn   func(int) float64
+	}
+	gbps := func(v float64) float64 { return v / 1e9 }
+	simple, kernel, dpdk := model.SimpleNIC(), model.ModernNICKernel(), model.ModernNICDPDK()
+	all := []curve{
+		{"effective", func(sz int) float64 { return gbps(model.EffectiveBidirBandwidth(cfg, sz)) }},
+		{"read", func(sz int) float64 { return gbps(model.EffectiveReadBandwidth(cfg, sz)) }},
+		{"write", func(sz int) float64 { return gbps(model.EffectiveWriteBandwidth(cfg, sz)) }},
+		{"simple", func(sz int) float64 { return gbps(simple.Bandwidth(cfg, sz)) }},
+		{"kernel", func(sz int) float64 { return gbps(kernel.Bandwidth(cfg, sz)) }},
+		{"dpdk", func(sz int) float64 { return gbps(dpdk.Bandwidth(cfg, sz)) }},
+	}
+	var selected []curve
+	if *nic == "all" {
+		selected = all
+	} else {
+		for _, c := range all {
+			if c.name == *nic {
+				selected = []curve{c}
+			}
+		}
+		if selected == nil {
+			fmt.Fprintf(os.Stderr, "pcie-model: unknown curve %q\n", *nic)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("# link: %s  raw=%.2fGb/s tlp=%.2fGb/s\n", cfg, cfg.RawBandwidth()/1e9, cfg.TLPBandwidth()/1e9)
+	fmt.Printf("# size")
+	for _, c := range selected {
+		fmt.Printf("\t%s", c.name)
+	}
+	if *ethGbps > 0 {
+		fmt.Printf("\t%geth", *ethGbps)
+	}
+	fmt.Println()
+	for _, sz := range szList {
+		fmt.Printf("%d", sz)
+		for _, c := range selected {
+			fmt.Printf("\t%.3f", c.fn(sz))
+		}
+		if *ethGbps > 0 {
+			fmt.Printf("\t%.3f", model.EthernetLineRate(*ethGbps*1e9, sz)/1e9)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,170 @@
+// Command pcie-repro regenerates every table and figure of the paper's
+// evaluation: Figures 1, 2, 4a-c, 5, 6, 7a-b, 8 and 9 plus Tables 1
+// and 2. TSV series suitable for gnuplot are written to the output
+// directory; tables and a paper-versus-measured summary go to stdout.
+//
+// Usage:
+//
+//	pcie-repro                 # quick run into ./repro-out
+//	pcie-repro -full -out dir  # paper-scale sample counts
+//	pcie-repro -only fig9      # a single experiment
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"pciebench/internal/report"
+)
+
+func main() {
+	var (
+		out  = flag.String("out", "repro-out", "output directory for TSV series")
+		full = flag.Bool("full", false, "paper-scale sample counts (slower)")
+		only = flag.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
+	)
+	flag.Parse()
+
+	q := report.Quick
+	if *full {
+		q = report.Full
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+
+	type experiment struct {
+		id  string
+		run func() error
+	}
+	writeFig := func(fig *report.Figure) error {
+		path := filepath.Join(*out, fig.ID+".tsv")
+		if err := os.WriteFile(path, []byte(fig.TSV()), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("  wrote %s\n", path)
+		return nil
+	}
+
+	experiments := []experiment{
+		{"table1", func() error {
+			t := report.Table1()
+			fmt.Println(t.Render())
+			return os.WriteFile(filepath.Join(*out, "table1.tsv"), []byte(t.TSV()), 0o644)
+		}},
+		{"fig1", func() error { return writeFig(report.Fig1()) }},
+		{"fig2", func() error {
+			fig, err := report.Fig2(q)
+			if err != nil {
+				return err
+			}
+			return writeFig(fig)
+		}},
+		{"fig4", func() error {
+			figs, err := report.Fig4(q)
+			if err != nil {
+				return err
+			}
+			for _, f := range figs {
+				if err := writeFig(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig5", func() error {
+			fig, err := report.Fig5(q)
+			if err != nil {
+				return err
+			}
+			return writeFig(fig)
+		}},
+		{"fig6", func() error {
+			fig, err := report.Fig6(q)
+			if err != nil {
+				return err
+			}
+			return writeFig(fig)
+		}},
+		{"fig7", func() error {
+			figs, err := report.Fig7(q)
+			if err != nil {
+				return err
+			}
+			for _, f := range figs {
+				if err := writeFig(f); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"fig8", func() error {
+			fig, err := report.Fig8(q)
+			if err != nil {
+				return err
+			}
+			return writeFig(fig)
+		}},
+		{"fig9", func() error {
+			fig, err := report.Fig9(q)
+			if err != nil {
+				return err
+			}
+			return writeFig(fig)
+		}},
+		{"table2", func() error {
+			t, err := report.Table2(q)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return os.WriteFile(filepath.Join(*out, "table2.tsv"), []byte(t.TSV()), 0o644)
+		}},
+		{"ablations", func() error {
+			if err := writeFig(report.AblationMPS()); err != nil {
+				return err
+			}
+			for _, run := range []func(report.Quality) (*report.Figure, error){
+				report.AblationGen4, report.AblationWalkers, report.AblationInFlight,
+			} {
+				fig, err := run(q)
+				if err != nil {
+					return err
+				}
+				if err := writeFig(fig); err != nil {
+					return err
+				}
+			}
+			return nil
+		}},
+		{"expect", func() error {
+			t, err := report.Expectations(q)
+			if err != nil {
+				return err
+			}
+			fmt.Println(t.Render())
+			return os.WriteFile(filepath.Join(*out, "expectations.tsv"), []byte(t.TSV()), 0o644)
+		}},
+	}
+
+	for _, e := range experiments {
+		if *only != "" && !strings.HasPrefix(e.id, *only) && e.id != "expect" {
+			continue
+		}
+		start := time.Now()
+		fmt.Printf("== %s ==\n", e.id)
+		if err := e.run(); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.id, err))
+		}
+		fmt.Printf("  (%.1fs)\n", time.Since(start).Seconds())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pcie-repro:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// iommu sweeps the benchmark window across the IO-TLB reach on a
+// 2-socket Broadwell system, with 4KB mappings (the paper's sp_off) and
+// with superpages, demonstrating §6.5 and the Table 2 recommendation:
+// co-locate DMA buffers in superpages.
+//
+// Run with: go run ./examples/iommu
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/sysconf"
+)
+
+func main() {
+	sys, err := sysconf.ByName("NFP6000-BDW")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(iommuOn, superpages bool, window int) float64 {
+		inst, err := sys.Build(sysconf.Options{
+			IOMMU:      iommuOn,
+			SuperPages: superpages,
+			NoJitter:   true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := bench.BwRd(inst.Target(), bench.Params{
+			WindowSize:   window,
+			TransferSize: 64,
+			Cache:        bench.HostWarm,
+			Transactions: 20000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res.Gbps
+	}
+
+	fmt.Println("64B DMA read bandwidth on NFP6000-BDW (Gb/s)")
+	fmt.Println("window     no IOMMU   IOMMU sp_off   IOMMU superpages")
+	for _, win := range []int{64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20} {
+		off := run(false, false, win)
+		sp4k := run(true, false, win)
+		sp2m := run(true, true, win)
+		fmt.Printf("%-9s  %8.1f   %12.1f   %16.1f\n", size(win), off, sp4k, sp2m)
+	}
+	fmt.Println()
+	fmt.Println("With 4KB mappings the IO-TLB covers 64 entries x 4KB = 256KB;")
+	fmt.Println("beyond that every request pays a page walk and the walker pool")
+	fmt.Println("caps translation throughput (the paper's ~-70% cliff at 64B).")
+	fmt.Println("Superpages keep the working set inside the IO-TLB at every")
+	fmt.Println("window size — the paper's recommendation made visible.")
+}
+
+func size(v int) string {
+	switch {
+	case v >= 1<<20:
+		return fmt.Sprintf("%dMB", v>>20)
+	default:
+		return fmt.Sprintf("%dKB", v>>10)
+	}
+}

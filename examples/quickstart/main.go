@@ -1,0 +1,58 @@
+// Quickstart: build one of the paper's systems, run a latency and a
+// bandwidth micro-benchmark against it, and print the summaries.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/sysconf"
+)
+
+func main() {
+	// Pick the NFP6000-in-Haswell system from Table 1 and assemble a
+	// runnable instance: memory system, root complex, DMA engine and a
+	// host DMA buffer.
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt := inst.Target()
+
+	// LAT_RD: 64-byte DMA reads from a warm 8KB window — the paper's
+	// Figure 6 baseline.
+	lat, err := bench.LatRd(tgt, bench.Params{
+		WindowSize:   8 << 10,
+		TransferSize: 64,
+		Cache:        bench.HostWarm,
+		Transactions: 10000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s:\n  %s\n", lat.Name, sys.Name, lat.Summary)
+
+	// BW_RD: the same window, measured for throughput (Figure 4a's
+	// 64-byte point).
+	bw, err := bench.BwRd(tgt, bench.Params{
+		WindowSize:   8 << 10,
+		TransferSize: 64,
+		Cache:        bench.HostWarm,
+		Transactions: 50000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s on %s:\n  %.2f Gb/s (%.1fM transactions/s)\n",
+		bw.Name, sys.Name, bw.Gbps, bw.TxnPerSec/1e6)
+
+	fmt.Println("\nTip: see cmd/pcie-bench for the full CLI and cmd/pcie-repro")
+	fmt.Println("for regenerating every figure and table of the paper.")
+}

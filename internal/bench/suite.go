@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"pciebench/internal/stats"
+)
+
+// SuiteConfig generates the cross-product of micro-benchmark runs the
+// paper's control programs execute: "A complete run takes about 4 hours
+// and executes around 2500 individual tests" (§5.4). The default
+// configuration spans the same axes — benchmark type, transfer size,
+// window size, cache state and access pattern — with simulation-sized
+// transaction counts.
+type SuiteConfig struct {
+	Benchmarks   []string // LAT_RD, LAT_WRRD, BW_RD, BW_WR, BW_RDWR
+	Transfers    []int
+	Windows      []int
+	CacheStates  []CacheState
+	Patterns     []Pattern
+	Transactions int
+}
+
+// DefaultSuite returns the paper-shaped test matrix (~2,880 runs).
+func DefaultSuite() SuiteConfig {
+	return SuiteConfig{
+		Benchmarks: []string{"LAT_RD", "LAT_WRRD", "BW_RD", "BW_WR", "BW_RDWR"},
+		Transfers:  []int{8, 16, 32, 64, 128, 256, 512, 1024, 2048},
+		Windows: []int{
+			4 << 10, 16 << 10, 64 << 10, 256 << 10,
+			1 << 20, 4 << 20, 16 << 20, 64 << 20,
+		},
+		CacheStates:  []CacheState{Cold, HostWarm, DeviceWarm},
+		Patterns:     []Pattern{Random, Sequential},
+		Transactions: 300,
+	}
+}
+
+// Count returns the number of runs the configuration expands to
+// (before invalid-combination skips).
+func (c SuiteConfig) Count() int {
+	return len(c.Benchmarks) * len(c.Transfers) * len(c.Windows) *
+		len(c.CacheStates) * len(c.Patterns)
+}
+
+// SuiteResult is the outcome of one run in the suite.
+type SuiteResult struct {
+	Bench  string
+	Params Params
+	// Latency benches fill Summary; bandwidth benches fill Gbps.
+	Summary stats.Summary
+	Gbps    float64
+	Skipped bool
+	Err     error
+}
+
+// RunSuite executes the matrix against one target. Invalid combinations
+// (window smaller than a unit, window larger than the buffer) are
+// reported as skipped rather than failing the suite. progress, when
+// non-nil, receives (done, total) after every run.
+func RunSuite(t *Target, cfg SuiteConfig, progress func(done, total int)) ([]SuiteResult, error) {
+	if cfg.Transactions <= 0 {
+		cfg.Transactions = 300
+	}
+	total := cfg.Count()
+	results := make([]SuiteResult, 0, total)
+	done := 0
+	for _, bm := range cfg.Benchmarks {
+		for _, sz := range cfg.Transfers {
+			for _, win := range cfg.Windows {
+				for _, cache := range cfg.CacheStates {
+					for _, pat := range cfg.Patterns {
+						p := Params{
+							WindowSize:   win,
+							TransferSize: sz,
+							Pattern:      pat,
+							Cache:        cache,
+							Transactions: cfg.Transactions,
+							Direct:       sz <= 128 && strings.HasPrefix(bm, "LAT"),
+						}
+						r := runOne(t, bm, p)
+						results = append(results, r)
+						done++
+						if progress != nil {
+							progress(done, total)
+						}
+					}
+				}
+			}
+		}
+	}
+	return results, nil
+}
+
+func runOne(t *Target, bm string, p Params) SuiteResult {
+	res := SuiteResult{Bench: bm, Params: p}
+	if err := p.Validate(t.Buffer.Size); err != nil {
+		res.Skipped = true
+		res.Err = err
+		return res
+	}
+	switch bm {
+	case "LAT_RD", "LAT_WRRD":
+		run := LatRd
+		if bm == "LAT_WRRD" {
+			run = LatWrRd
+		}
+		out, err := run(t, p)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Summary = out.Summary
+	case "BW_RD", "BW_WR", "BW_RDWR":
+		run := BwRd
+		switch bm {
+		case "BW_WR":
+			run = BwWr
+		case "BW_RDWR":
+			run = BwRdWr
+		}
+		out, err := run(t, p)
+		if err != nil {
+			res.Err = err
+			return res
+		}
+		res.Gbps = out.Gbps
+	default:
+		res.Err = fmt.Errorf("bench: unknown benchmark %q", bm)
+	}
+	return res
+}
+
+// RenderSuite formats suite results as a TSV report, one line per run.
+func RenderSuite(results []SuiteResult) string {
+	var b strings.Builder
+	b.WriteString("bench\twindow\txfer\tpattern\tcache\tmedian_ns\tgbps\tstatus\n")
+	for _, r := range results {
+		status := "ok"
+		if r.Skipped {
+			status = "skipped"
+		} else if r.Err != nil {
+			status = "error: " + r.Err.Error()
+		}
+		fmt.Fprintf(&b, "%s\t%d\t%d\t%s\t%s\t%.1f\t%.2f\t%s\n",
+			r.Bench, r.Params.WindowSize, r.Params.TransferSize,
+			r.Params.Pattern, r.Params.Cache, r.Summary.Median, r.Gbps, status)
+	}
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"pciebench/internal/device/netfpga"
+)
+
+func TestDefaultSuiteShape(t *testing.T) {
+	cfg := DefaultSuite()
+	// The paper's control program runs ~2500 individual tests; the
+	// default matrix is in that ballpark.
+	if n := cfg.Count(); n < 2000 || n > 4000 {
+		t.Errorf("suite size = %d, want ~2500", n)
+	}
+}
+
+func TestRunSuiteSmall(t *testing.T) {
+	tgt := buildTarget(t, netfpga.Config(), 43)
+	cfg := SuiteConfig{
+		Benchmarks:   []string{"LAT_RD", "BW_RD", "BW_WR"},
+		Transfers:    []int{64, 512},
+		Windows:      []int{8 << 10, 1 << 20},
+		CacheStates:  []CacheState{HostWarm},
+		Patterns:     []Pattern{Random},
+		Transactions: 200,
+	}
+	var calls int
+	results, err := RunSuite(tgt, cfg, func(done, total int) {
+		calls++
+		if total != cfg.Count() {
+			t.Errorf("total = %d, want %d", total, cfg.Count())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != cfg.Count() {
+		t.Fatalf("results = %d, want %d", len(results), cfg.Count())
+	}
+	if calls != cfg.Count() {
+		t.Errorf("progress calls = %d", calls)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Errorf("%s %s: %v", r.Bench, r.Params, r.Err)
+		}
+		switch {
+		case strings.HasPrefix(r.Bench, "LAT"):
+			if r.Summary.Median <= 0 {
+				t.Errorf("%s %s: no latency", r.Bench, r.Params)
+			}
+		default:
+			if r.Gbps <= 0 {
+				t.Errorf("%s %s: no bandwidth", r.Bench, r.Params)
+			}
+		}
+	}
+}
+
+func TestRunSuiteSkipsInvalid(t *testing.T) {
+	tgt := buildTarget(t, netfpga.Config(), 47) // 32MB buffer
+	cfg := SuiteConfig{
+		Benchmarks:   []string{"LAT_RD"},
+		Transfers:    []int{64},
+		Windows:      []int{64 << 20}, // larger than the buffer
+		CacheStates:  []CacheState{Cold},
+		Patterns:     []Pattern{Random},
+		Transactions: 10,
+	}
+	results, err := RunSuite(tgt, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || !results[0].Skipped {
+		t.Errorf("oversized window not skipped: %+v", results)
+	}
+}
+
+func TestRunSuiteUnknownBench(t *testing.T) {
+	tgt := buildTarget(t, netfpga.Config(), 53)
+	cfg := SuiteConfig{
+		Benchmarks:  []string{"NOPE"},
+		Transfers:   []int{64},
+		Windows:     []int{8 << 10},
+		CacheStates: []CacheState{Cold},
+		Patterns:    []Pattern{Random},
+	}
+	results, err := RunSuite(tgt, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRenderSuite(t *testing.T) {
+	tgt := buildTarget(t, netfpga.Config(), 59)
+	cfg := SuiteConfig{
+		Benchmarks:   []string{"LAT_RD", "BW_RD"},
+		Transfers:    []int{64},
+		Windows:      []int{8 << 10},
+		CacheStates:  []CacheState{HostWarm},
+		Patterns:     []Pattern{Random},
+		Transactions: 100,
+	}
+	results, err := RunSuite(tgt, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderSuite(results)
+	for _, want := range []string{"bench\twindow", "LAT_RD", "BW_RD", "ok"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package netfpga
+
+import (
+	"testing"
+
+	"pciebench/internal/device"
+	"pciebench/internal/mem"
+	"pciebench/internal/pcie"
+	"pciebench/internal/rc"
+	"pciebench/internal/sim"
+)
+
+func TestConfigMatchesPaper(t *testing.T) {
+	cfg := Config()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// §5.2: 250MHz core, 4ns timestamps, a request per clock cycle, no
+	// descriptor FIFO, no staging transfer.
+	if Clock != 4*sim.Nanosecond {
+		t.Errorf("Clock = %v", Clock)
+	}
+	if cfg.TimestampResolution != 4*sim.Nanosecond {
+		t.Errorf("resolution = %v", cfg.TimestampResolution)
+	}
+	if cfg.IssueInterval != Clock {
+		t.Errorf("issue interval = %v, want one cycle", cfg.IssueInterval)
+	}
+	if cfg.StagingPSPerByte != 0 || cfg.StagingFixed != 0 {
+		t.Error("NetFPGA should have no staging transfer")
+	}
+	if cfg.SupportsDirect {
+		t.Error("NetFPGA has no separate direct command interface")
+	}
+}
+
+func TestNewRunsAgainstHost(t *testing.T) {
+	k := sim.New(2)
+	ms, err := mem.NewSystem(mem.Config{
+		Nodes:       1,
+		Cache:       mem.CacheConfig{SizeBytes: 1 << 20, Ways: 8, LineSize: 64, DDIOWays: 2},
+		LLCLatency:  50 * sim.Nanosecond,
+		DRAMLatency: 120 * sim.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	complex, err := rc.New(k, rc.Config{
+		Link:        pcie.DefaultGen3x8(),
+		PipeLatency: 100 * sim.Nanosecond,
+		PipeSlots:   24,
+		WireDelay:   120 * sim.Nanosecond,
+	}, ms, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(k, complex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done []device.Completion
+	for i := 0; i < 4; i++ {
+		eng.Submit(device.Op{DMA: uint64(i) * 4096, Size: 64, OnDone: func(c device.Completion) {
+			done = append(done, c)
+		}})
+	}
+	k.Run()
+	if len(done) != 4 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	// All latencies quantize to the 4ns counter.
+	for _, c := range done {
+		if lat := c.Latency(Clock); lat%(4*sim.Nanosecond) != 0 {
+			t.Errorf("latency %v not on the 4ns grid", lat)
+		}
+	}
+	// Requests issue one cycle apart: with 30 in-flight slots all four
+	// pipeline, so completion spread is far below serial latency.
+	spread := done[3].Done - done[0].Done
+	if spread > 40*sim.Nanosecond {
+		t.Errorf("completion spread %v: requests did not pipeline", spread)
+	}
+}

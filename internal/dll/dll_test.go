@@ -1,0 +1,440 @@
+package dll
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCRC16DetectsCorruption(t *testing.T) {
+	data := []byte{0x00, 0x12, 0x34, 0x56}
+	crc := CRC16(data)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := make([]byte, len(data))
+			copy(corrupt, data)
+			corrupt[i] ^= 1 << uint(bit)
+			if CRC16(corrupt) == crc {
+				t.Errorf("single-bit flip at byte %d bit %d undetected", i, bit)
+			}
+		}
+	}
+}
+
+func TestCRC32DetectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 64)
+	rng.Read(data)
+	crc := CRC32(data)
+	for trial := 0; trial < 200; trial++ {
+		i := rng.Intn(len(data))
+		bit := rng.Intn(8)
+		data[i] ^= 1 << uint(bit)
+		if CRC32(data) == crc {
+			t.Errorf("bit flip at %d.%d undetected", i, bit)
+		}
+		data[i] ^= 1 << uint(bit)
+	}
+	if CRC32(data) != crc {
+		t.Error("CRC32 not deterministic")
+	}
+}
+
+func TestDLLPRoundTrip(t *testing.T) {
+	cases := []DLLP{
+		{Type: DLLPAck, Seq: 0},
+		{Type: DLLPAck, Seq: 0xFFF},
+		{Type: DLLPNak, Seq: 1234},
+		{Type: DLLPUpdateFCP, HdrFC: 0xFF, DataFC: 0xFFF},
+		{Type: DLLPUpdateFCNP, HdrFC: 8, DataFC: 0},
+		{Type: DLLPUpdateFCCpl, HdrFC: 0, DataFC: 512},
+		{Type: DLLPInitFCP, HdrFC: 64, DataFC: 1024},
+	}
+	for _, in := range cases {
+		buf := in.AppendTo(nil)
+		if len(buf) != 6 {
+			t.Errorf("%v: encoded %d bytes, want 6", in.Type, len(buf))
+		}
+		out, err := DecodeDLLP(buf)
+		if err != nil {
+			t.Fatalf("%v: %v", in.Type, err)
+		}
+		if out != in {
+			t.Errorf("round trip: got %+v, want %+v", out, in)
+		}
+	}
+}
+
+func TestDLLPDecodeErrors(t *testing.T) {
+	if _, err := DecodeDLLP([]byte{1, 2, 3}); err != ErrDLLPShort {
+		t.Errorf("short: %v", err)
+	}
+	d := DLLP{Type: DLLPAck, Seq: 7}
+	buf := d.AppendTo(nil)
+	buf[2] ^= 0x40
+	if _, err := DecodeDLLP(buf); err != ErrDLLPCRC {
+		t.Errorf("corrupt: %v, want ErrDLLPCRC", err)
+	}
+}
+
+func TestDLLPTypeStrings(t *testing.T) {
+	for typ, want := range map[DLLPType]string{
+		DLLPAck: "Ack", DLLPNak: "Nak",
+		DLLPUpdateFCP: "UpdateFC-P", DLLPUpdateFCNP: "UpdateFC-NP",
+		DLLPUpdateFCCpl: "UpdateFC-Cpl", DLLPInitFCP: "InitFC-P",
+		DLLPInitFCNP: "InitFC-NP", DLLPInitFCCpl: "InitFC-Cpl",
+	} {
+		if got := typ.String(); got != want {
+			t.Errorf("%#x: %q, want %q", uint8(typ), got, want)
+		}
+	}
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	if SeqDistance(0, 5) != 5 {
+		t.Error("forward distance")
+	}
+	if SeqDistance(0xFFE, 2) != 4 {
+		t.Error("wraparound distance")
+	}
+	if !SeqLessEq(10, 10) || !SeqLessEq(10, 11) || SeqLessEq(11, 10) {
+		t.Error("ordering")
+	}
+	if !SeqLessEq(0xFFF, 0) {
+		t.Error("wraparound ordering")
+	}
+}
+
+func TestDataCreditsFor(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 16: 1, 17: 2, 64: 4, 256: 16, 4096: 256}
+	for bytes, want := range cases {
+		if got := DataCreditsFor(bytes); got != want {
+			t.Errorf("DataCreditsFor(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func TestTxCreditsExhaustionAndUpdate(t *testing.T) {
+	tx := NewTxCredits(
+		Credits{Hdr: 2, Data: 8},               // posted: 2 TLPs, 128B
+		Credits{Hdr: 1, Data: 1},               // non-posted
+		Credits{Hdr: Infinite, Data: Infinite}, // completions uncapped
+	)
+	if err := tx.Consume(Posted, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Consume(Posted, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Consume(Posted, 64); err != ErrNoCredit {
+		t.Errorf("third posted TLP: %v, want ErrNoCredit", err)
+	}
+	// Data credits can run out before header credits.
+	tx2 := NewTxCredits(Credits{Hdr: 10, Data: 4}, Credits{}, Credits{})
+	if err := tx2.Consume(Posted, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx2.Consume(Posted, 64); err != ErrNoCredit {
+		t.Errorf("data-credit exhaustion: %v, want ErrNoCredit", err)
+	}
+	// An UpdateFC raises the cumulative limit and unblocks.
+	tx2.Update(Posted, Credits{Hdr: 10, Data: 8})
+	if err := tx2.Consume(Posted, 64); err != nil {
+		t.Errorf("after update: %v", err)
+	}
+	// Stale updates are ignored.
+	tx2.Update(Posted, Credits{Hdr: 1, Data: 1})
+	if got := tx2.Available(Posted); got.Hdr != 8 {
+		t.Errorf("stale update changed limit: %+v", got)
+	}
+	// Infinite pools always send.
+	for i := 0; i < 1000; i++ {
+		if err := tx.Consume(Completion, 4096); err != nil {
+			t.Fatalf("infinite pool blocked at %d: %v", i, err)
+		}
+	}
+}
+
+func TestRxCreditsLedger(t *testing.T) {
+	rx := NewRxCredits(Credits{Hdr: 4, Data: 16}, Credits{Hdr: 2, Data: 2}, Credits{Hdr: 2, Data: 8})
+	init := rx.InitFC(Posted)
+	if init.Hdr != 4 || init.Data != 16 {
+		t.Errorf("InitFC = %+v", init)
+	}
+	rx.Received(Posted, 64)
+	rx.Received(Posted, 64)
+	if p := rx.Pending(Posted); p.Hdr != 2 || p.Data != 8 {
+		t.Errorf("pending = %+v", p)
+	}
+	if err := rx.Drained(Posted, 64); err != nil {
+		t.Fatal(err)
+	}
+	// UpdateFC advertises capacity + processed.
+	u := rx.UpdateFC(Posted)
+	if u.Hdr != 5 || u.Data != 20 {
+		t.Errorf("UpdateFC = %+v, want {5 20}", u)
+	}
+	// Draining more than was received is an error.
+	if err := rx.Drained(Posted, 4096); err != ErrFCOverflow {
+		t.Errorf("over-drain: %v, want ErrFCOverflow", err)
+	}
+}
+
+// Property: under random consume/update sequences, available credits
+// never go negative and Consume never succeeds without coverage.
+func TestCreditsNeverNegative(t *testing.T) {
+	f := func(ops []uint16) bool {
+		tx := NewTxCredits(Credits{Hdr: 4, Data: 16}, Credits{Hdr: 4, Data: 16}, Credits{Hdr: 4, Data: 16})
+		granted := Credits{Hdr: 4, Data: 16}
+		for _, op := range ops {
+			ct := CreditType(op % 3)
+			if op&0x8000 != 0 {
+				granted.Hdr += int(op % 3)
+				granted.Data += int(op % 5)
+				tx.Update(ct, granted)
+			} else {
+				payload := int(op % 300)
+				_ = tx.Consume(ct, payload)
+			}
+			for c := Posted; c <= Completion; c++ {
+				a := tx.Available(c)
+				if a.Hdr < 0 || a.Data < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func newLinkPair() (*Transmitter, *Receiver) {
+	rxLedger := NewRxCredits(
+		Credits{Hdr: 32, Data: 256},
+		Credits{Hdr: 32, Data: 32},
+		Credits{Hdr: Infinite, Data: Infinite},
+	)
+	txView := NewTxCredits(rxLedger.InitFC(Posted), rxLedger.InitFC(NonPosted), rxLedger.InitFC(Completion))
+	return NewTransmitter(txView, 128), NewReceiver(rxLedger)
+}
+
+func TestLinkInOrderDelivery(t *testing.T) {
+	tx, rx := newLinkPair()
+	for i := 0; i < 10; i++ {
+		tlp := []byte{byte(i), 1, 2, 3}
+		frame, err := tx.Send(tlp, Posted, 0)
+		if err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+		got, resp, err := rx.Receive(frame, Posted, 0)
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		if resp.Type != DLLPAck || resp.Seq != uint16(i) {
+			t.Errorf("frame %d: resp %+v", i, resp)
+		}
+		if got[0] != byte(i) {
+			t.Errorf("frame %d: payload %v", i, got)
+		}
+		tx.HandleAck(resp.Seq)
+	}
+	if tx.Outstanding() != 0 {
+		t.Errorf("outstanding = %d after acks", tx.Outstanding())
+	}
+}
+
+func TestLinkCorruptionNakReplay(t *testing.T) {
+	tx, rx := newLinkPair()
+	f0, _ := tx.Send([]byte{0xAA, 0, 0, 0}, Posted, 0)
+	f1, _ := tx.Send([]byte{0xBB, 0, 0, 0}, Posted, 0)
+
+	// Deliver frame 0 fine.
+	_, resp, err := rx.Receive(f0, Posted, 0)
+	if err != nil || resp.Type != DLLPAck {
+		t.Fatalf("frame 0: %v %+v", err, resp)
+	}
+	tx.HandleAck(resp.Seq)
+
+	// Corrupt frame 1 in flight.
+	bad := make([]byte, len(f1))
+	copy(bad, f1)
+	bad[3] ^= 0xFF
+	_, resp, err = rx.Receive(bad, Posted, 0)
+	if err != ErrLCRC || resp.Type != DLLPNak {
+		t.Fatalf("corrupt frame: err=%v resp=%+v", err, resp)
+	}
+
+	// Nak triggers replay of frame 1.
+	replays := tx.HandleNak(resp.Seq)
+	if len(replays) != 1 {
+		t.Fatalf("replay count = %d, want 1", len(replays))
+	}
+	got, resp, err := rx.Receive(replays[0], Posted, 0)
+	if err != nil || resp.Type != DLLPAck {
+		t.Fatalf("replayed frame: %v %+v", err, resp)
+	}
+	if got[0] != 0xBB {
+		t.Errorf("replayed payload %v", got)
+	}
+	if tx.Replays != 1 {
+		t.Errorf("Replays = %d, want 1", tx.Replays)
+	}
+}
+
+func TestLinkOutOfOrderNak(t *testing.T) {
+	tx, rx := newLinkPair()
+	_, _ = tx.Send([]byte{1, 0, 0, 0}, Posted, 0)
+	f1, _ := tx.Send([]byte{2, 0, 0, 0}, Posted, 0)
+	// Frame 0 lost; frame 1 arrives first -> Nak for "last good" 0xFFF.
+	_, resp, err := rx.Receive(f1, Posted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Type != DLLPNak {
+		t.Fatalf("resp = %+v, want Nak", resp)
+	}
+	// Replay both frames in order.
+	replays := tx.HandleNak(resp.Seq)
+	if len(replays) != 2 {
+		t.Fatalf("replay count = %d, want 2", len(replays))
+	}
+	for i, f := range replays {
+		_, resp, err = rx.Receive(f, Posted, 0)
+		if err != nil || resp.Type != DLLPAck {
+			t.Fatalf("replay %d: %v %+v", i, err, resp)
+		}
+	}
+	tx.HandleAck(resp.Seq)
+	if tx.Outstanding() != 0 {
+		t.Errorf("outstanding = %d", tx.Outstanding())
+	}
+}
+
+func TestLinkDuplicateDiscarded(t *testing.T) {
+	tx, rx := newLinkPair()
+	f0, _ := tx.Send([]byte{1, 2, 3, 4}, Posted, 0)
+	if _, _, err := rx.Receive(f0, Posted, 0); err != nil {
+		t.Fatal(err)
+	}
+	tlp, resp, err := rx.Receive(f0, Posted, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tlp != nil {
+		t.Error("duplicate delivered TLP bytes")
+	}
+	if resp.Type != DLLPAck || resp.Seq != 0 {
+		t.Errorf("duplicate resp = %+v", resp)
+	}
+	if rx.Dups != 1 {
+		t.Errorf("Dups = %d", rx.Dups)
+	}
+}
+
+func TestLinkBlocksWithoutCredits(t *testing.T) {
+	rxLedger := NewRxCredits(Credits{Hdr: 1, Data: 4}, Credits{}, Credits{})
+	tx := NewTransmitter(NewTxCredits(rxLedger.InitFC(Posted), Credits{}, Credits{}), 8)
+	rx := NewReceiver(rxLedger)
+
+	f0, err := tx.Send(make([]byte, 68), Posted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Send(make([]byte, 68), Posted, 64); err != ErrNoCredit {
+		t.Fatalf("second send: %v, want ErrNoCredit", err)
+	}
+	// Receiver drains the TLP and returns credits via UpdateFC.
+	_, resp, err := rx.Receive(f0, Posted, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx.HandleAck(resp.Seq)
+	if err := rxLedger.Drained(Posted, 64); err != nil {
+		t.Fatal(err)
+	}
+	tx.fc.Update(Posted, rxLedger.UpdateFC(Posted))
+	if _, err := tx.Send(make([]byte, 68), Posted, 64); err != nil {
+		t.Errorf("after credit return: %v", err)
+	}
+}
+
+func TestReplayBufferFull(t *testing.T) {
+	tx, _ := newLinkPair()
+	var err error
+	for i := 0; i < 4; i++ {
+		_, err = tx.Send([]byte{0, 0, 0, 0}, Posted, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.maxRep = 4
+	if _, err = tx.Send([]byte{0, 0, 0, 0}, Posted, 0); err != ErrReplayFull {
+		t.Errorf("full replay buffer: %v, want ErrReplayFull", err)
+	}
+}
+
+// Property: a lossy link with Nak-based replay still delivers every TLP
+// exactly once and in order.
+func TestLossyLinkEventualInOrderDelivery(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		tx, rx := newLinkPair()
+		const n = 50
+		var delivered []byte
+		pendingFrames := make([][]byte, 0, n)
+		sent := 0
+		for len(delivered) < n {
+			// Send as long as credits allow.
+			for sent < n {
+				f, err := tx.Send([]byte{byte(sent), 0, 0, 0}, Posted, 0)
+				if err != nil {
+					break
+				}
+				pendingFrames = append(pendingFrames, f)
+				sent++
+			}
+			if len(pendingFrames) == 0 {
+				// Everything in flight was lost: the replay timer
+				// fires and retransmits the outstanding frames.
+				pendingFrames = tx.ReplayTimeout()
+				if len(pendingFrames) == 0 {
+					t.Fatal("deadlock: nothing in flight and nothing to replay")
+				}
+			}
+			f := pendingFrames[0]
+			pendingFrames = pendingFrames[1:]
+			// 20% loss, 10% corruption.
+			r := rng.Float64()
+			if r < 0.2 {
+				continue // dropped
+			}
+			if r < 0.3 {
+				g := make([]byte, len(f))
+				copy(g, f)
+				g[rng.Intn(len(g))] ^= 0xFF
+				f = g
+			}
+			tlpBytes, resp, _ := rx.Receive(f, Posted, 0)
+			if tlpBytes != nil {
+				delivered = append(delivered, tlpBytes[0])
+				if err := rx.fc.Drained(Posted, 0); err != nil {
+					t.Fatal(err)
+				}
+				tx.fc.Update(Posted, rx.fc.UpdateFC(Posted))
+			}
+			switch resp.Type {
+			case DLLPAck:
+				tx.HandleAck(resp.Seq)
+			case DLLPNak:
+				pendingFrames = append(tx.HandleNak(resp.Seq), pendingFrames...)
+			}
+		}
+		for i, b := range delivered {
+			if b != byte(i) {
+				t.Fatalf("trial %d: delivered[%d] = %d", trial, i, b)
+			}
+		}
+	}
+}

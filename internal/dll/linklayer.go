@@ -1,0 +1,167 @@
+package dll
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Frame layout: 2-byte sequence number, TLP bytes, 4-byte LCRC. The
+// physical layer adds its own framing tokens (see internal/phy).
+const (
+	seqBytes  = 2
+	lcrcBytes = 4
+	// FrameOverhead is the DLL bytes added around every TLP; it matches
+	// pcie.DLLBytes.
+	FrameOverhead = seqBytes + lcrcBytes
+)
+
+// Link-layer errors.
+var (
+	ErrFrameShort = errors.New("dll: frame too short")
+	ErrLCRC       = errors.New("dll: LCRC mismatch")
+	ErrReplayFull = errors.New("dll: replay buffer full")
+	ErrUnknownAck = errors.New("dll: ack for unknown sequence number")
+)
+
+// Transmitter implements the sending half of the data link layer: it
+// assigns sequence numbers, consumes flow-control credits, frames TLPs
+// with an LCRC, and retains them in a replay buffer until acknowledged.
+type Transmitter struct {
+	nextSeq uint16
+	fc      *TxCredits
+	replay  []txEntry
+	maxRep  int
+
+	// Replays counts TLP retransmissions (Nak-triggered).
+	Replays int
+}
+
+type txEntry struct {
+	seq     uint16
+	frame   []byte
+	ct      CreditType
+	payload int
+}
+
+// NewTransmitter returns a transmitter using the given credit view and a
+// replay buffer of maxReplay frames (0 means a generous default of 64).
+func NewTransmitter(fc *TxCredits, maxReplay int) *Transmitter {
+	if maxReplay <= 0 {
+		maxReplay = 64
+	}
+	return &Transmitter{fc: fc, maxRep: maxReplay}
+}
+
+// Send frames one TLP. It consumes credits for the TLP's pool, assigns
+// the next sequence number and returns the on-wire frame. The frame is
+// retained for replay until acknowledged.
+func (t *Transmitter) Send(tlpBytes []byte, ct CreditType, payloadBytes int) ([]byte, error) {
+	if len(t.replay) >= t.maxRep {
+		return nil, ErrReplayFull
+	}
+	if err := t.fc.Consume(ct, payloadBytes); err != nil {
+		return nil, err
+	}
+	seq := t.nextSeq
+	t.nextSeq = (t.nextSeq + 1) & 0xFFF
+	frame := make([]byte, 0, seqBytes+len(tlpBytes)+lcrcBytes)
+	frame = binary.BigEndian.AppendUint16(frame, seq)
+	frame = append(frame, tlpBytes...)
+	frame = binary.BigEndian.AppendUint32(frame, CRC32(frame))
+	t.replay = append(t.replay, txEntry{seq: seq, frame: frame, ct: ct, payload: payloadBytes})
+	return frame, nil
+}
+
+// HandleAck purges all frames with sequence numbers up to and including
+// seq from the replay buffer, returning how many were purged.
+func (t *Transmitter) HandleAck(seq uint16) int {
+	n := 0
+	for len(t.replay) > 0 && SeqLessEq(t.replay[0].seq, seq) {
+		t.replay = t.replay[1:]
+		n++
+	}
+	return n
+}
+
+// HandleNak acknowledges frames up to and including seq and returns the
+// frames after it, in order, for retransmission.
+func (t *Transmitter) HandleNak(seq uint16) [][]byte {
+	t.HandleAck(seq)
+	out := make([][]byte, 0, len(t.replay))
+	for _, e := range t.replay {
+		out = append(out, e.frame)
+	}
+	t.Replays += len(out)
+	return out
+}
+
+// ReplayTimeout retransmits every unacknowledged frame in order,
+// modeling the spec's REPLAY_TIMER expiry: when neither an Ack nor a Nak
+// arrives (all frames or all DLLPs lost), the transmitter must replay on
+// its own initiative or the link deadlocks.
+func (t *Transmitter) ReplayTimeout() [][]byte {
+	out := make([][]byte, 0, len(t.replay))
+	for _, e := range t.replay {
+		out = append(out, e.frame)
+	}
+	t.Replays += len(out)
+	return out
+}
+
+// Outstanding returns the number of unacknowledged frames.
+func (t *Transmitter) Outstanding() int { return len(t.replay) }
+
+// Receiver implements the receiving half: LCRC verification, in-order
+// sequence checking, Ack/Nak generation, and receive-buffer credit
+// tracking.
+type Receiver struct {
+	nextSeq uint16
+	fc      *RxCredits
+
+	// Naks counts rejected frames (corrupt or out of order).
+	Naks int
+	// Dups counts discarded duplicate frames.
+	Dups int
+}
+
+// NewReceiver returns a receiver using the given credit ledger.
+func NewReceiver(fc *RxCredits) *Receiver {
+	return &Receiver{fc: fc}
+}
+
+// Receive processes one frame. On success it returns the contained TLP
+// bytes and an Ack DLLP. Corrupt or out-of-order frames produce a Nak;
+// duplicates produce an Ack for the last good sequence and nil TLP
+// bytes. The caller must account received TLPs to the credit ledger via
+// RxCredits.Received (done here) and later RxCredits.Drained.
+func (r *Receiver) Receive(frame []byte, ct CreditType, payloadBytes int) (tlp []byte, resp DLLP, err error) {
+	lastGood := (r.nextSeq - 1) & 0xFFF
+	if len(frame) < seqBytes+lcrcBytes {
+		r.Naks++
+		return nil, DLLP{Type: DLLPNak, Seq: lastGood}, ErrFrameShort
+	}
+	body := frame[:len(frame)-lcrcBytes]
+	want := binary.BigEndian.Uint32(frame[len(frame)-lcrcBytes:])
+	if CRC32(body) != want {
+		r.Naks++
+		return nil, DLLP{Type: DLLPNak, Seq: lastGood}, ErrLCRC
+	}
+	seq := binary.BigEndian.Uint16(frame[:seqBytes]) & 0xFFF
+	switch {
+	case seq == r.nextSeq:
+		r.nextSeq = (r.nextSeq + 1) & 0xFFF
+		r.fc.Received(ct, payloadBytes)
+		return body[seqBytes:], DLLP{Type: DLLPAck, Seq: seq}, nil
+	case SeqLessEq(seq, lastGood):
+		// Duplicate of an already-received frame: re-Ack, discard.
+		r.Dups++
+		return nil, DLLP{Type: DLLPAck, Seq: lastGood}, nil
+	default:
+		// Gap: a frame went missing; Nak the last good one.
+		r.Naks++
+		return nil, DLLP{Type: DLLPNak, Seq: lastGood}, nil
+	}
+}
+
+// NextSeq returns the next expected sequence number (for tests).
+func (r *Receiver) NextSeq() uint16 { return r.nextSeq }

@@ -1,0 +1,239 @@
+package hostif
+
+import (
+	"testing"
+
+	"pciebench/internal/iommu"
+	"pciebench/internal/mem"
+	"pciebench/internal/sim"
+)
+
+func testMem(t *testing.T) *mem.System {
+	t.Helper()
+	ms, err := mem.NewSystem(mem.Config{
+		Nodes:         2,
+		Cache:         mem.CacheConfig{SizeBytes: 64 << 10, Ways: 8, LineSize: 64, DDIOWays: 2},
+		LLCLatency:    50 * sim.Nanosecond,
+		DRAMLatency:   120 * sim.Nanosecond,
+		RemoteLatency: 100 * sim.Nanosecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ms
+}
+
+func TestAllocModes(t *testing.T) {
+	cases := []struct {
+		mode       AllocMode
+		size       int
+		wantChunks int
+	}{
+		{Chunked4M, 1 << 20, 1},
+		{Chunked4M, 10 << 20, 3}, // 4+4+2
+		{Huge2M, 5 << 20, 3},     // 2+2+1
+		{Huge1G, 64 << 20, 1},
+	}
+	for _, tc := range cases {
+		h := New(testMem(t), nil)
+		b, err := h.Alloc(tc.size, 0, tc.mode, 0)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.mode, err)
+		}
+		if b.Chunks() != tc.wantChunks {
+			t.Errorf("%v size %d: chunks = %d, want %d", tc.mode, tc.size, b.Chunks(), tc.wantChunks)
+		}
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	h := New(testMem(t), nil)
+	if _, err := h.Alloc(0, 0, Chunked4M, 0); err != ErrBadSize {
+		t.Errorf("size 0: %v", err)
+	}
+	if _, err := h.Alloc(4096, 5, Chunked4M, 0); err != ErrBadNode {
+		t.Errorf("bad node: %v", err)
+	}
+}
+
+func TestChunksNotPhysicallyContiguous(t *testing.T) {
+	h := New(testMem(t), nil)
+	b, err := h.Alloc(12<<20, 0, Chunked4M, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Chunks() != 3 {
+		t.Fatalf("chunks = %d", b.Chunks())
+	}
+	end0 := b.PhysAddr(0) + uint64(4<<20)
+	start1 := b.PhysAddr(4 << 20)
+	if start1 == end0 {
+		t.Error("chunks are physically contiguous; the allocator should leave gaps")
+	}
+}
+
+func TestDMAAddrWithoutIOMMUIsPA(t *testing.T) {
+	h := New(testMem(t), nil)
+	b, _ := h.Alloc(8<<20, 0, Chunked4M, 0)
+	for _, off := range []int{0, 4096, 4 << 20, 8<<20 - 1} {
+		if b.DMAAddr(off) != b.PhysAddr(off) {
+			t.Errorf("off %d: dma %#x != pa %#x", off, b.DMAAddr(off), b.PhysAddr(off))
+		}
+	}
+}
+
+func TestDMAAddrWithIOMMUIsContiguous(t *testing.T) {
+	k := sim.New(1)
+	mmu := iommu.New(k, iommu.DefaultConfig())
+	h := New(testMem(t), mmu)
+	b, err := h.Alloc(12<<20, 0, Chunked4M, iommu.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := b.DMAAddr(0)
+	// IOVA space is contiguous across chunk boundaries as long as chunk
+	// sizes are page multiples.
+	for _, off := range []int{0, 4096, 4 << 20, 4<<20 + 512, 11 << 20} {
+		if got := b.DMAAddr(off); got != base+uint64(off) {
+			t.Errorf("off %d: dma %#x, want %#x", off, got, base+uint64(off))
+		}
+	}
+	// Translations resolve to the right physical addresses.
+	r, err := mmu.Translate(0, b.DMAAddr(5<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.PA != b.PhysAddr(5<<20) {
+		t.Errorf("translate(5MB) = %#x, want %#x", r.PA, b.PhysAddr(5<<20))
+	}
+}
+
+func TestSuperpageVsForced4K(t *testing.T) {
+	// With natural (superpage) mapping a 4MB buffer needs 2 IO-TLB
+	// entries (2MB pages); with sp_off it needs 1024.
+	k := sim.New(1)
+	mmuSP := iommu.New(k, iommu.Config{TLBEntries: 2048, WalkLatency: 330 * sim.Nanosecond, Walkers: 2})
+	hSP := New(testMem(t), mmuSP)
+	bSP, err := hSP.Alloc(4<<20, 0, Chunked4M, 0) // natural: 2MB pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < 4<<20; off += 4096 {
+		if _, err := mmuSP.Translate(0, bSP.DMAAddr(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mmuSP.Misses != 2 {
+		t.Errorf("superpage misses = %d, want 2", mmuSP.Misses)
+	}
+
+	mmu4K := iommu.New(k, iommu.Config{TLBEntries: 2048, WalkLatency: 330 * sim.Nanosecond, Walkers: 2})
+	h4K := New(testMem(t), mmu4K)
+	b4K, err := h4K.Alloc(4<<20, 0, Chunked4M, iommu.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < 4<<20; off += 4096 {
+		if _, err := mmu4K.Translate(0, b4K.DMAAddr(off)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if mmu4K.Misses != 1024 {
+		t.Errorf("sp_off misses = %d, want 1024", mmu4K.Misses)
+	}
+}
+
+func TestHomeOf(t *testing.T) {
+	h := New(testMem(t), nil)
+	b0, _ := h.Alloc(1<<20, 0, Chunked4M, 0)
+	b1, _ := h.Alloc(1<<20, 1, Chunked4M, 0)
+	if got := h.HomeOf(b0.PhysAddr(0)); got != 0 {
+		t.Errorf("node0 buffer homed at %d", got)
+	}
+	if got := h.HomeOf(b1.PhysAddr(0)); got != 1 {
+		t.Errorf("node1 buffer homed at %d", got)
+	}
+	if got := h.HomeOf(0); got != 0 {
+		t.Errorf("out-of-range PA homed at %d, want 0", got)
+	}
+}
+
+func TestWarmingPaths(t *testing.T) {
+	ms := testMem(t)
+	h := New(ms, nil)
+	b, _ := h.Alloc(8<<10, 0, Chunked4M, 0)
+
+	b.WarmHost(0, 8<<10)
+	if got := ms.Access(false, 0, b.PhysAddr(0), 64); got != 50*sim.Nanosecond {
+		t.Errorf("after host warm: %v, want LLC", got)
+	}
+
+	h.Thrash()
+	if got := ms.Access(false, 0, b.PhysAddr(0), 64); got != 120*sim.Nanosecond {
+		t.Errorf("after thrash: %v, want DRAM", got)
+	}
+
+	b.WarmDevice(0, 8<<10)
+	if got := ms.Access(false, 0, b.PhysAddr(4096), 64); got != 50*sim.Nanosecond {
+		t.Errorf("after device warm: %v, want LLC", got)
+	}
+}
+
+func TestWarmSpansChunks(t *testing.T) {
+	ms := testMem(t)
+	h := New(ms, nil)
+	b, _ := h.Alloc(8<<20, 0, Chunked4M, 0) // two 4MB chunks
+	// Warm a range straddling the chunk boundary.
+	start := 4<<20 - 128
+	b.WarmHost(start, 256)
+	if got := ms.Access(false, 0, b.PhysAddr(4<<20-64), 64); got != 50*sim.Nanosecond {
+		t.Error("pre-boundary line not warm")
+	}
+	if got := ms.Access(false, 0, b.PhysAddr(4<<20+64), 64); got != 50*sim.Nanosecond {
+		t.Error("post-boundary line not warm")
+	}
+}
+
+func TestBufferFree(t *testing.T) {
+	k := sim.New(1)
+	mmu := iommu.New(k, iommu.DefaultConfig())
+	h := New(testMem(t), mmu)
+	b, err := h.Alloc(8<<20, 0, Chunked4M, iommu.Page4K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dma := b.DMAAddr(0)
+	if err := b.Free(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mmu.Translate(0, dma); err == nil {
+		t.Error("translate succeeded after Free")
+	}
+	// Freeing an IOMMU-less buffer is a no-op.
+	h2 := New(testMem(t), nil)
+	b2, _ := h2.Alloc(4096, 0, Chunked4M, 0)
+	if err := b2.Free(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDMAAddrPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	h := New(testMem(t), nil)
+	b, _ := h.Alloc(4096, 0, Chunked4M, 0)
+	b.DMAAddr(4096)
+}
+
+func TestAllocModeStrings(t *testing.T) {
+	for m, want := range map[AllocMode]string{
+		Chunked4M: "chunked-4M", Huge2M: "huge-2M", Huge1G: "huge-1G",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("%d: %q != %q", int(m), got, want)
+		}
+	}
+}

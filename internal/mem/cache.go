@@ -1,0 +1,298 @@
+// Package mem models the end-host memory system a PCIe root complex
+// talks to: per-node last-level caches with a DDIO-style restricted
+// allocation region for device writes, DRAM behind them, and a NUMA
+// interconnect between sockets.
+//
+// The model captures exactly the mechanisms the paper's §6.3 and §6.4
+// experiments exercise:
+//
+//   - DMA reads are serviced from the LLC when the line is resident
+//     (~70 ns cheaper than DRAM) and do not allocate on a miss.
+//   - DMA writes allocate into a bounded number of lines per set (Intel
+//     documents ~10% of the LLC for DDIO); a partial-line write to a
+//     non-resident line forces a read-modify-write fetch from DRAM,
+//     which is the latency penalty the paper observes once the access
+//     window outgrows the DDIO region.
+//   - Accesses whose home is the remote socket pay the interconnect
+//     latency.
+package mem
+
+// LineState is the state of one cache line.
+type LineState uint8
+
+// Cache line states.
+const (
+	Invalid LineState = iota
+	Clean
+	Dirty
+)
+
+type way struct {
+	tag   uint64
+	state LineState
+	ddio  bool   // allocated by a device write (counts against the DDIO quota)
+	use   uint64 // global LRU clock value of last touch
+}
+
+type cacheSet struct {
+	ways []way
+}
+
+// CacheConfig shapes a set-associative LLC.
+type CacheConfig struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineSize  int // bytes per line
+	DDIOWays  int // max lines per set allocatable by device writes
+}
+
+// Cache is a set-associative last-level cache with true-LRU replacement
+// and a per-set DDIO allocation quota. It tracks only metadata (tags and
+// states), not data.
+type Cache struct {
+	cfg   CacheConfig
+	sets  []cacheSet
+	clock uint64
+
+	// Statistics.
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// NewCache builds a cache; SizeBytes must be a multiple of Ways*LineSize.
+func NewCache(cfg CacheConfig) *Cache {
+	if cfg.LineSize <= 0 {
+		cfg.LineSize = 64
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 16
+	}
+	if cfg.DDIOWays <= 0 || cfg.DDIOWays > cfg.Ways {
+		cfg.DDIOWays = cfg.Ways
+	}
+	nsets := cfg.SizeBytes / (cfg.Ways * cfg.LineSize)
+	if nsets < 1 {
+		nsets = 1
+	}
+	c := &Cache{cfg: cfg, sets: make([]cacheSet, nsets)}
+	for i := range c.sets {
+		c.sets[i].ways = make([]way, cfg.Ways)
+	}
+	return c
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+// setFor maps a byte address to its set.
+func (c *Cache) setFor(addr uint64) *cacheSet {
+	line := addr / uint64(c.cfg.LineSize)
+	return &c.sets[line%uint64(len(c.sets))]
+}
+
+func (c *Cache) tagFor(addr uint64) uint64 {
+	return addr / uint64(c.cfg.LineSize)
+}
+
+// Contains reports whether the line holding addr is resident, without
+// disturbing LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	s := c.setFor(addr)
+	tag := c.tagFor(addr)
+	for i := range s.ways {
+		if s.ways[i].state != Invalid && s.ways[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// lookup returns the way index of the line, or -1.
+func (s *cacheSet) lookup(tag uint64) int {
+	for i := range s.ways {
+		if s.ways[i].state != Invalid && s.ways[i].tag == tag {
+			return i
+		}
+	}
+	return -1
+}
+
+// AccessResult describes one line-granular cache access.
+type AccessResult struct {
+	Hit          bool
+	Fetched      bool // line was (or had to be) fetched from memory
+	EvictedDirty bool // allocation displaced a dirty line (write-back)
+}
+
+// DeviceRead performs a DMA-read lookup of the line holding addr. Per
+// DDIO semantics reads are serviced from the cache on a hit but do not
+// allocate on a miss.
+func (c *Cache) DeviceRead(addr uint64) AccessResult {
+	c.clock++
+	s := c.setFor(addr)
+	tag := c.tagFor(addr)
+	if i := s.lookup(tag); i >= 0 {
+		s.ways[i].use = c.clock
+		c.Hits++
+		return AccessResult{Hit: true}
+	}
+	c.Misses++
+	return AccessResult{Fetched: true}
+}
+
+// DeviceWrite performs a DMA-write access to the line holding addr.
+// fullLine indicates the write covers the entire cache line. On a miss
+// the line is allocated within the DDIO quota; a partial-line miss
+// additionally fetches the line from memory (read-modify-write), which
+// is the DDIO latency penalty the paper measures.
+func (c *Cache) DeviceWrite(addr uint64, fullLine bool) AccessResult {
+	c.clock++
+	s := c.setFor(addr)
+	tag := c.tagFor(addr)
+	if i := s.lookup(tag); i >= 0 {
+		s.ways[i].use = c.clock
+		s.ways[i].state = Dirty
+		c.Hits++
+		return AccessResult{Hit: true}
+	}
+	c.Misses++
+	res := AccessResult{Fetched: !fullLine}
+	v := c.victimDDIO(s)
+	if s.ways[v].state == Dirty {
+		c.Writebacks++
+		res.EvictedDirty = true
+	}
+	if s.ways[v].state != Invalid {
+		c.Evictions++
+	}
+	s.ways[v] = way{tag: tag, state: Dirty, ddio: true, use: c.clock}
+	return res
+}
+
+// HostTouch simulates the CPU reading (write=false) or writing
+// (write=true) the line holding addr, allocating anywhere in the set.
+// Used by the cache-warming control interface (paper §4: "host warm").
+func (c *Cache) HostTouch(addr uint64, write bool) AccessResult {
+	c.clock++
+	s := c.setFor(addr)
+	tag := c.tagFor(addr)
+	if i := s.lookup(tag); i >= 0 {
+		s.ways[i].use = c.clock
+		if write {
+			s.ways[i].state = Dirty
+		}
+		c.Hits++
+		return AccessResult{Hit: true}
+	}
+	c.Misses++
+	res := AccessResult{Fetched: true}
+	v := c.victimAny(s)
+	if s.ways[v].state == Dirty {
+		c.Writebacks++
+		res.EvictedDirty = true
+	}
+	if s.ways[v].state != Invalid {
+		c.Evictions++
+	}
+	st := Clean
+	if write {
+		st = Dirty
+	}
+	s.ways[v] = way{tag: tag, state: st, ddio: false, use: c.clock}
+	return res
+}
+
+// victimAny picks an invalid way or the global LRU way.
+func (c *Cache) victimAny(s *cacheSet) int {
+	best := -1
+	for i := range s.ways {
+		if s.ways[i].state == Invalid {
+			return i
+		}
+		if best < 0 || s.ways[i].use < s.ways[best].use {
+			best = i
+		}
+	}
+	return best
+}
+
+// victimDDIO picks a victim for a device-write allocation. The DDIO
+// quota is a hard cap: once the set holds DDIOWays device-allocated
+// lines, a new device write must recycle the LRU one of those — even if
+// invalid ways exist — because the hardware dedicates specific ways to
+// IO allocation. Below the quota, an invalid way is preferred, then the
+// set-global LRU way.
+func (c *Cache) victimDDIO(s *cacheSet) int {
+	ddioCount := 0
+	bestAll, bestDDIO, firstInvalid := -1, -1, -1
+	for i := range s.ways {
+		if s.ways[i].state == Invalid {
+			if firstInvalid < 0 {
+				firstInvalid = i
+			}
+			continue
+		}
+		if bestAll < 0 || s.ways[i].use < s.ways[bestAll].use {
+			bestAll = i
+		}
+		if s.ways[i].ddio {
+			ddioCount++
+			if bestDDIO < 0 || s.ways[i].use < s.ways[bestDDIO].use {
+				bestDDIO = i
+			}
+		}
+	}
+	if ddioCount >= c.cfg.DDIOWays {
+		return bestDDIO
+	}
+	if firstInvalid >= 0 {
+		return firstInvalid
+	}
+	return bestAll
+}
+
+// Thrash resets the cache to a cold state, as the paper's control
+// programs do before every benchmark run.
+func (c *Cache) Thrash() {
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			c.sets[i].ways[j] = way{}
+		}
+	}
+}
+
+// ResetStats zeroes the statistics counters.
+func (c *Cache) ResetStats() {
+	c.Hits, c.Misses, c.Evictions, c.Writebacks = 0, 0, 0, 0
+}
+
+// Occupancy returns the number of resident (non-invalid) lines.
+func (c *Cache) Occupancy() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			if c.sets[i].ways[j].state != Invalid {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// DDIOOccupancy returns the number of resident device-allocated lines.
+func (c *Cache) DDIOOccupancy() int {
+	n := 0
+	for i := range c.sets {
+		for j := range c.sets[i].ways {
+			if c.sets[i].ways[j].state != Invalid && c.sets[i].ways[j].ddio {
+				n++
+			}
+		}
+	}
+	return n
+}

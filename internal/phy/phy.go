@@ -1,0 +1,67 @@
+// Package phy models the PCI Express physical layer: per-generation
+// signalling rates, line encodings, lane striping and framing tokens.
+//
+// The functions here answer one question for the simulator: how long does
+// a given TLP or DLLP occupy a link direction? Two accountings are
+// provided. SerializationTime is the cycle-accurate view (symbols striped
+// across lanes at the raw symbol rate, spec framing tokens per
+// generation); pcie.LinkConfig.BytesTime is the bandwidth view used by
+// the paper's model (effective TLP-layer bandwidth including the
+// estimated DLL overhead). The performance tier uses the bandwidth view
+// so the simulator and the analytical model share one notion of link
+// capacity; the cycle-accurate view exists to validate that the two agree
+// to within the DLL overhead estimate.
+package phy
+
+import (
+	"pciebench/internal/pcie"
+)
+
+// FramingTokenBytes returns the physical-layer framing bytes per TLP for
+// a generation: Gen1/2 use 1-byte STP and END symbols; Gen3 onwards use a
+// 4-byte STP token with the end implied by the length field.
+func FramingTokenBytes(g pcie.Generation) int {
+	if g >= pcie.Gen3 {
+		return 4
+	}
+	return 2
+}
+
+// SerializationTimePS returns the cycle-accurate wire occupancy of n
+// payload bytes on the link: bytes are expanded by the line encoding,
+// striped across lanes, and rounded up to a whole symbol column.
+func SerializationTimePS(cfg pcie.LinkConfig, n int) int64 {
+	if n <= 0 {
+		return 0
+	}
+	// Symbols per lane: ceil(n / lanes).
+	cols := (n + cfg.Lanes - 1) / cfg.Lanes
+	perByte := 8.0 / cfg.Gen.LaneBitsPerSecond() * 1e12 // ps per encoded byte per lane
+	return int64(float64(cols) * perByte)
+}
+
+// SkipOrderedSetOverhead returns the fraction of raw bandwidth consumed
+// by SKP ordered sets, which compensate clock drift between the two link
+// partners: one 16-byte (Gen3+) or 4-byte (Gen1/2) set per scheduled
+// interval of 1538 symbol times.
+func SkipOrderedSetOverhead(g pcie.Generation) float64 {
+	const interval = 1538.0
+	if g >= pcie.Gen3 {
+		return 16.0 / (interval + 16.0)
+	}
+	return 4.0 / (interval + 4.0)
+}
+
+// TLPWireTimePS returns the wire occupancy of a TLP whose raw
+// transaction-layer size is tlpBytes, including DLL framing and the
+// generation's physical framing tokens, at the raw signalling rate.
+func TLPWireTimePS(cfg pcie.LinkConfig, tlpBytes int) int64 {
+	total := tlpBytes + 6 + FramingTokenBytes(cfg.Gen) // DLL seq+LCRC, STP/END
+	return SerializationTimePS(cfg, total)
+}
+
+// DLLPWireTimePS returns the wire occupancy of one DLLP (8 bytes with
+// framing).
+func DLLPWireTimePS(cfg pcie.LinkConfig) int64 {
+	return SerializationTimePS(cfg, 8)
+}

@@ -1,0 +1,100 @@
+package phy
+
+import (
+	"testing"
+
+	"pciebench/internal/pcie"
+)
+
+func TestFramingTokenBytes(t *testing.T) {
+	if got := FramingTokenBytes(pcie.Gen1); got != 2 {
+		t.Errorf("Gen1 framing = %d, want 2", got)
+	}
+	if got := FramingTokenBytes(pcie.Gen2); got != 2 {
+		t.Errorf("Gen2 framing = %d, want 2", got)
+	}
+	for _, g := range []pcie.Generation{pcie.Gen3, pcie.Gen4, pcie.Gen5} {
+		if got := FramingTokenBytes(g); got != 4 {
+			t.Errorf("%v framing = %d, want 4", g, got)
+		}
+	}
+}
+
+func TestSerializationTime(t *testing.T) {
+	cfg := pcie.DefaultGen3x8()
+	if got := SerializationTimePS(cfg, 0); got != 0 {
+		t.Errorf("0 bytes: %dps", got)
+	}
+	// 8 bytes on 8 lanes = 1 symbol column ~ 1.0156ns on Gen3.
+	one := SerializationTimePS(cfg, 8)
+	if one < 1000 || one > 1100 {
+		t.Errorf("one column = %dps, want ~1016ps", one)
+	}
+	// 1..8 bytes all occupy one column.
+	for n := 1; n <= 8; n++ {
+		if got := SerializationTimePS(cfg, n); got != one {
+			t.Errorf("%d bytes = %dps, want %dps (one column)", n, got, one)
+		}
+	}
+	// 9 bytes need two columns (allow 1ps of integer rounding).
+	if got := SerializationTimePS(cfg, 9); got < 2*one-2 || got > 2*one+2 {
+		t.Errorf("9 bytes = %dps, want ~%dps", got, 2*one)
+	}
+}
+
+func TestWiderLinkIsFaster(t *testing.T) {
+	narrow := pcie.DefaultGen3x8()
+	narrow.Lanes = 4
+	wide := pcie.DefaultGen3x8()
+	wide.Lanes = 16
+	n := 1024
+	if SerializationTimePS(narrow, n) <= SerializationTimePS(wide, n) {
+		t.Error("x4 should be slower than x16")
+	}
+}
+
+func TestNewerGenIsFaster(t *testing.T) {
+	g3 := pcie.DefaultGen3x8()
+	g4 := pcie.DefaultGen3x8()
+	g4.Gen = pcie.Gen4
+	if SerializationTimePS(g3, 512) <= SerializationTimePS(g4, 512) {
+		t.Error("Gen3 should be slower than Gen4")
+	}
+}
+
+func TestSkipOrderedSetOverheadSmall(t *testing.T) {
+	for _, g := range []pcie.Generation{pcie.Gen1, pcie.Gen3, pcie.Gen5} {
+		ov := SkipOrderedSetOverhead(g)
+		if ov <= 0 || ov > 0.02 {
+			t.Errorf("%v SKP overhead = %f, want (0, 0.02]", g, ov)
+		}
+	}
+}
+
+// The cycle-accurate serialization view and the bandwidth view
+// (pcie.BytesTime) must agree to within the DLL overhead estimate for
+// large transfers.
+func TestViewsAgreeWithinDLLOverhead(t *testing.T) {
+	cfg := pcie.DefaultGen3x8()
+	n := 4096
+	raw := SerializationTimePS(cfg, n)
+	bw := cfg.BytesTime(n)
+	// bw includes the ~8% DLL overhead, so bw ~ raw / (1-0.08).
+	ratio := float64(bw) / float64(raw)
+	if ratio < 1.05 || ratio > 1.12 {
+		t.Errorf("bandwidth/raw time ratio = %.4f, want ~1.087", ratio)
+	}
+}
+
+func TestTLPAndDLLPWireTimes(t *testing.T) {
+	cfg := pcie.DefaultGen3x8()
+	// A 16B header TLP: 16+6+4 = 26 bytes -> 4 columns on x8.
+	got := TLPWireTimePS(cfg, 16)
+	want := SerializationTimePS(cfg, 26)
+	if got != want {
+		t.Errorf("TLPWireTimePS(16) = %d, want %d", got, want)
+	}
+	if DLLPWireTimePS(cfg) != SerializationTimePS(cfg, 8) {
+		t.Error("DLLP wire time mismatch")
+	}
+}

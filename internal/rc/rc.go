@@ -1,0 +1,416 @@
+// Package rc models the PCIe root complex: the component connecting the
+// processor/memory subsystem to the PCIe fabric (paper footnote 1).
+//
+// The root complex is where the paper's host-side effects meet: inbound
+// TLPs are serialized on the device→host link direction, processed by a
+// pipeline with bounded parallelism (which caps the transaction rate),
+// translated by the IOMMU when one is present, serviced by the memory
+// system (LLC/DDIO/DRAM/NUMA), and — for reads — answered with
+// completions split at the Read Completion Boundary and bounded by MPS,
+// serialized on the host→device direction.
+//
+// All timing uses the virtual-clock resources from internal/sim, so a
+// transaction's full timeline is computed in one pass; the event kernel
+// only sequences the *control* decisions (a DMA engine issuing its next
+// descriptor) in the device layer above.
+package rc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pciebench/internal/iommu"
+	"pciebench/internal/mem"
+	"pciebench/internal/pcie"
+	"pciebench/internal/sim"
+	"pciebench/internal/tlp"
+	"pciebench/internal/trace"
+)
+
+// Jitter injects per-TLP processing-time variation, modeling effects the
+// paper observed but could not attribute (the Xeon E3's heavy latency
+// tail, suspected power management). A nil Jitter means deterministic
+// processing.
+type Jitter interface {
+	Sample(rng *rand.Rand) sim.Time
+}
+
+// AddressMap resolves a physical address to its home NUMA node. A nil
+// map homes everything on node 0.
+type AddressMap interface {
+	HomeOf(pa uint64) int
+}
+
+// Config shapes the root complex.
+type Config struct {
+	// Link is the negotiated PCIe link.
+	Link pcie.LinkConfig
+	// PipeLatency is the per-TLP processing time inside the root
+	// complex (ingress, ordering checks, coherence lookup issue).
+	PipeLatency sim.Time
+	// PipeSlots bounds concurrently processed TLPs; the transaction
+	// rate cap is PipeSlots/PipeLatency (the paper's §4.2 notes the
+	// root complex must handle a transaction every 5 ns at 64 B line
+	// rate).
+	PipeSlots int
+	// WireDelay is the propagation plus SerDes delay per direction.
+	WireDelay sim.Time
+	// Jitter optionally perturbs per-TLP processing (nil = none).
+	Jitter Jitter
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Link.Validate(); err != nil {
+		return err
+	}
+	if c.PipeLatency <= 0 {
+		return fmt.Errorf("rc: PipeLatency must be positive")
+	}
+	if c.PipeSlots < 1 {
+		return fmt.Errorf("rc: PipeSlots must be >= 1")
+	}
+	if c.WireDelay < 0 {
+		return fmt.Errorf("rc: WireDelay must be >= 0")
+	}
+	return nil
+}
+
+// RootComplex is the simulated root complex plus the two directions of
+// the PCIe link connecting it to the device under test.
+type RootComplex struct {
+	k    *sim.Kernel
+	cfg  Config
+	ms   *mem.System
+	mmu  *iommu.IOMMU // nil when disabled
+	amap AddressMap
+
+	up   *sim.Server // device -> host (requests, write data)
+	down *sim.Server // host -> device (completions, MMIO requests)
+	pipe *sim.MultiServer
+
+	tracer  trace.Tracer
+	scratch []byte // tracer encode buffer
+
+	// Statistics.
+	UpTLPs    uint64
+	UpBytes   uint64
+	DownTLPs  uint64
+	DownBytes uint64
+	ReadOps   uint64
+	WriteOps  uint64
+}
+
+// New builds a root complex. ms is required; mmu and amap may be nil.
+func New(k *sim.Kernel, cfg Config, ms *mem.System, mmu *iommu.IOMMU, amap AddressMap) (*RootComplex, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &RootComplex{
+		k:    k,
+		cfg:  cfg,
+		ms:   ms,
+		mmu:  mmu,
+		amap: amap,
+		up:   sim.NewServer(k),
+		down: sim.NewServer(k),
+		pipe: sim.NewMultiServer(k, cfg.PipeSlots),
+	}, nil
+}
+
+// SetTracer installs a TLP tracer; every request, write and completion
+// crossing the link is then emitted as a wire-exact record at its
+// serialization-complete time. A nil tracer (the default) costs
+// nothing.
+func (r *RootComplex) SetTracer(t trace.Tracer) { r.tracer = t }
+
+// traceMemReq emits a traced memory request TLP.
+func (r *RootComplex) traceMemReq(at sim.Time, write bool, addr uint64, n int) {
+	if r.tracer == nil {
+		return
+	}
+	lenDW, fbe, lbe, err := tlp.BERange(addr, n)
+	if err != nil {
+		return
+	}
+	var perr error
+	if write {
+		w := tlp.MemWrite{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, Addr64: true, Data: make([]byte, n)}
+		r.scratch, perr = w.AppendTo(r.scratch[:0])
+	} else {
+		rd := tlp.MemRead{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, LengthDW: lenDW, Addr64: true}
+		r.scratch, perr = rd.AppendTo(r.scratch[:0])
+	}
+	if perr == nil {
+		r.tracer.Trace(at, trace.DeviceToHost, r.scratch)
+	}
+}
+
+// traceCpl emits a traced completion TLP.
+func (r *RootComplex) traceCpl(at sim.Time, addr uint64, n, remaining int) {
+	if r.tracer == nil {
+		return
+	}
+	c := tlp.Completion{
+		Status: tlp.CplSuccess, ByteCount: remaining,
+		LowerAddr: uint8(addr & 0x7F), Data: make([]byte, n),
+	}
+	var perr error
+	r.scratch, perr = c.AppendTo(r.scratch[:0])
+	if perr == nil {
+		r.tracer.Trace(at, trace.HostToDevice, r.scratch)
+	}
+}
+
+// Config returns the configuration.
+func (r *RootComplex) Config() Config { return r.cfg }
+
+// Link returns the link configuration.
+func (r *RootComplex) Link() pcie.LinkConfig { return r.cfg.Link }
+
+func (r *RootComplex) home(pa uint64) int {
+	if r.amap == nil {
+		return 0
+	}
+	return r.amap.HomeOf(pa)
+}
+
+func (r *RootComplex) jitter() sim.Time {
+	if r.cfg.Jitter == nil {
+		return 0
+	}
+	return r.cfg.Jitter.Sample(r.k.Rand())
+}
+
+// translate resolves a DMA address at the given time, returning the
+// physical address and the time the request may proceed.
+func (r *RootComplex) translate(at sim.Time, dma uint64) (uint64, sim.Time, error) {
+	if r.mmu == nil {
+		return dma, at, nil
+	}
+	res, err := r.mmu.Translate(at, dma)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.PA, res.Ready, nil
+}
+
+// boundedChunks calls fn(offset, n) for consecutive chunks of
+// [addr, addr+sz) that do not cross bound-aligned address boundaries.
+// This is the same arithmetic as tlp.SplitRead/SplitWrite; the
+// equivalence is asserted by tests.
+func boundedChunks(addr uint64, sz, bound int, fn func(off, n int)) {
+	pos := addr
+	remaining := sz
+	off := 0
+	for remaining > 0 {
+		n := remaining
+		if boundary := (pos/uint64(bound) + 1) * uint64(bound); pos+uint64(n) > boundary {
+			n = int(boundary - pos)
+		}
+		fn(off, n)
+		pos += uint64(n)
+		remaining -= n
+		off += n
+	}
+}
+
+// cplChunks calls fn(offset, n) for the completion payloads of a read of
+// [addr, addr+sz): a short first chunk up to the RCB boundary when addr
+// is unaligned, then MPS-sized chunks (same arithmetic as
+// tlp.SplitCompletion).
+func cplChunks(addr uint64, sz, mps, rcb int, fn func(off, n int)) {
+	pos := addr
+	remaining := sz
+	off := 0
+	for remaining > 0 {
+		var n int
+		if mis := int(pos % uint64(rcb)); mis != 0 {
+			n = rcb - mis
+		} else {
+			n = mps
+		}
+		if n > remaining {
+			n = remaining
+		}
+		fn(off, n)
+		pos += uint64(n)
+		remaining -= n
+		off += n
+	}
+}
+
+// ReadResult is the timeline of a DMA read.
+type ReadResult struct {
+	// FirstData is when the first completion arrives at the device.
+	FirstData sim.Time
+	// Complete is when the last completion arrives at the device.
+	Complete sim.Time
+}
+
+// DMARead runs a device-initiated read of sz bytes at DMA address dma,
+// with the first request TLP entering the device's link interface at
+// time at. It returns the completion timeline.
+func (r *RootComplex) DMARead(at sim.Time, dma uint64, sz int) (ReadResult, error) {
+	return r.DMAReadOrdered(at, dma, sz, 0)
+}
+
+// DMAReadOrdered is DMARead with an ordering barrier: the memory access
+// will not start before orderAfter. PCIe ordering makes a read push
+// ahead any earlier posted write to the same address; the benchmark
+// layer passes the write's memory-completion time here to implement
+// LAT_WRRD.
+func (r *RootComplex) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter sim.Time) (ReadResult, error) {
+	if sz <= 0 {
+		return ReadResult{}, fmt.Errorf("rc: read size %d", sz)
+	}
+	cfg := r.cfg
+	link := cfg.Link
+	reqHdr := pcie.MRdHeaderBytes(link.Addr64, link.ECRC)
+	cplHdr := pcie.CplDHeaderBytes(link.ECRC)
+
+	res := ReadResult{}
+	var err error
+	r.ReadOps++
+	boundedChunks(dma, sz, link.MRRS, func(off, n int) {
+		if err != nil {
+			return
+		}
+		// Request serializes on the device->host direction.
+		txDone := r.up.ScheduleAt(at, sim.Time(link.BytesTime(reqHdr)))
+		r.UpTLPs++
+		r.UpBytes += uint64(reqHdr)
+		r.traceMemReq(txDone, false, dma+uint64(off), n)
+		arrive := txDone + cfg.WireDelay
+		// Root-complex processing.
+		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
+		// Address translation.
+		pa, ready, terr := r.translate(procDone, dma+uint64(off))
+		if terr != nil {
+			err = terr
+			return
+		}
+		if ready < orderAfter {
+			ready = orderAfter
+		}
+		// Memory access: worst-line latency (line fetches in parallel).
+		memLat := r.ms.Access(false, r.home(pa), pa, n)
+		dataAt := ready + memLat
+		// Completions serialize on the host->device direction.
+		cplChunks(pa, n, link.MPS, link.RCB, func(coff, c int) {
+			wire := cplHdr + c
+			done := r.down.ScheduleAt(dataAt, sim.Time(link.BytesTime(wire)))
+			r.DownTLPs++
+			r.DownBytes += uint64(wire)
+			r.traceCpl(done, pa+uint64(coff), c, n-coff)
+			arriveDev := done + cfg.WireDelay
+			if res.FirstData == 0 || arriveDev < res.FirstData {
+				res.FirstData = arriveDev
+			}
+			if arriveDev > res.Complete {
+				res.Complete = arriveDev
+			}
+		})
+	})
+	if err != nil {
+		return ReadResult{}, err
+	}
+	return res, nil
+}
+
+// WriteResult is the timeline of a posted DMA write.
+type WriteResult struct {
+	// LinkDone is when the device finishes injecting the write TLPs —
+	// the point at which the device-side DMA engine considers the
+	// (posted) write complete.
+	LinkDone sim.Time
+	// MemDone is when the data is globally visible in the memory
+	// system; later reads to the same address order after this.
+	MemDone sim.Time
+}
+
+// DMAWrite runs a device-initiated posted write of sz bytes at DMA
+// address dma starting at time at.
+func (r *RootComplex) DMAWrite(at sim.Time, dma uint64, sz int) (WriteResult, error) {
+	if sz <= 0 {
+		return WriteResult{}, fmt.Errorf("rc: write size %d", sz)
+	}
+	cfg := r.cfg
+	link := cfg.Link
+	hdr := pcie.MWrHeaderBytes(link.Addr64, link.ECRC)
+
+	res := WriteResult{}
+	var err error
+	r.WriteOps++
+	boundedChunks(dma, sz, link.MPS, func(off, n int) {
+		if err != nil {
+			return
+		}
+		wire := hdr + n
+		txDone := r.up.ScheduleAt(at, sim.Time(link.BytesTime(wire)))
+		r.UpTLPs++
+		r.UpBytes += uint64(wire)
+		r.traceMemReq(txDone, true, dma+uint64(off), n)
+		if txDone > res.LinkDone {
+			res.LinkDone = txDone
+		}
+		arrive := txDone + cfg.WireDelay
+		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
+		pa, ready, terr := r.translate(procDone, dma+uint64(off))
+		if terr != nil {
+			err = terr
+			return
+		}
+		memLat := r.ms.Access(true, r.home(pa), pa, n)
+		if done := ready + memLat; done > res.MemDone {
+			res.MemDone = done
+		}
+	})
+	if err != nil {
+		return WriteResult{}, err
+	}
+	return res, nil
+}
+
+// MMIOWrite models the host CPU posting a write of sz bytes to a device
+// register (doorbell): it serializes on the host->device direction and
+// returns the arrival time at the device. The CPU does not wait.
+func (r *RootComplex) MMIOWrite(at sim.Time, sz int) sim.Time {
+	link := r.cfg.Link
+	wire := pcie.MWrHeaderBytes(link.Addr64, link.ECRC) + sz
+	done := r.down.ScheduleAt(at, sim.Time(link.BytesTime(wire)))
+	r.DownTLPs++
+	r.DownBytes += uint64(wire)
+	return done + r.cfg.WireDelay
+}
+
+// MMIORead models the host CPU reading a device register: a non-posted
+// read crosses to the device, which answers after devLatency; the
+// completion crosses back. Returns when the CPU has the value. These
+// uncached reads are the expensive driver operations modern drivers
+// avoid (paper §2: DPDK polls host memory instead).
+//
+// The returning completion's serialization is charged as latency but
+// does not reserve the device→host link server: it completes far in the
+// future relative to submission, and the virtual-clock servers are FIFO
+// in call order, so reserving ahead of time would incorrectly stall
+// DMA traffic submitted afterwards. The few bytes involved make its
+// bandwidth contribution negligible (it is still counted in UpBytes).
+func (r *RootComplex) MMIORead(at sim.Time, sz int, devLatency sim.Time) sim.Time {
+	link := r.cfg.Link
+	req := pcie.MRdHeaderBytes(link.Addr64, link.ECRC)
+	reqArrive := r.down.ScheduleAt(at, sim.Time(link.BytesTime(req))) + r.cfg.WireDelay
+	r.DownTLPs++
+	r.DownBytes += uint64(req)
+	cplWire := pcie.CplDHeaderBytes(link.ECRC) + sz
+	cplDone := reqArrive + devLatency + sim.Time(link.BytesTime(cplWire))
+	r.UpTLPs++
+	r.UpBytes += uint64(cplWire)
+	return cplDone + r.cfg.WireDelay
+}
+
+// UpUtilization returns the device->host link utilization so far.
+func (r *RootComplex) UpUtilization() float64 { return r.up.Utilization() }
+
+// DownUtilization returns the host->device link utilization so far.
+func (r *RootComplex) DownUtilization() float64 { return r.down.Utilization() }

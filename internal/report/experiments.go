@@ -1,0 +1,472 @@
+package report
+
+import (
+	"fmt"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/model"
+	"pciebench/internal/nicsim"
+	"pciebench/internal/pcie"
+	"pciebench/internal/stats"
+	"pciebench/internal/sysconf"
+)
+
+// Fig1 computes the modeled bidirectional bandwidth of a Gen3 x8 link
+// against the achievable throughput of the paper's NIC/driver designs
+// (§2, Figure 1).
+func Fig1() *Figure {
+	cfg := pcie.DefaultGen3x8()
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Modeled bidirectional bandwidth, PCIe Gen3 x8",
+		XLabel: "Transfer Size (Bytes)",
+		YLabel: "Bandwidth (Gb/s)",
+	}
+	eff := &stats.Series{Name: "Effective PCIe BW"}
+	eth := &stats.Series{Name: "40G Ethernet"}
+	simple := &stats.Series{Name: "Simple NIC"}
+	kernel := &stats.Series{Name: "Modern NIC (kernel driver)"}
+	dpdk := &stats.Series{Name: "Modern NIC (DPDK driver)"}
+	simpleNIC, kernelNIC, dpdkNIC := model.SimpleNIC(), model.ModernNICKernel(), model.ModernNICDPDK()
+	for sz := 64; sz <= 1520; sz += 16 {
+		x := float64(sz)
+		eff.Append(x, model.EffectiveBidirBandwidth(cfg, sz)/1e9)
+		eth.Append(x, model.EthernetLineRate(40e9, sz)/1e9)
+		simple.Append(x, simpleNIC.Bandwidth(cfg, sz)/1e9)
+		kernel.Append(x, kernelNIC.Bandwidth(cfg, sz)/1e9)
+		dpdk.Append(x, dpdkNIC.Bandwidth(cfg, sz)/1e9)
+	}
+	fig.Series = []*stats.Series{eff, eth, simple, kernel, dpdk}
+	return fig
+}
+
+// Fig2 measures the ExaNIC-style loopback NIC latency and its PCIe
+// share across frame sizes (§2, Figure 2).
+func Fig2(q Quality) (*Figure, error) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		return nil, err
+	}
+	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+	if err != nil {
+		return nil, err
+	}
+	inst.Buffer.WarmHost(0, 64<<10) // RX ring is hot in a polling app
+
+	count := 16
+	if q == Full {
+		count = 200
+	}
+	total := &stats.Series{Name: "NIC"}
+	pcieNS := &stats.Series{Name: "PCIe contribution"}
+	frac := &stats.Series{Name: "PCIe fraction"}
+	for sz := 64; sz <= 1600; sz += 64 {
+		samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(), inst.Buffer.DMAAddr(0), sz, count)
+		if err != nil {
+			return nil, err
+		}
+		med, f := nicsim.MedianLoopback(samples)
+		total.Append(float64(sz), med.Nanoseconds())
+		pcieNS.Append(float64(sz), med.Nanoseconds()*f)
+		frac.Append(float64(sz), f)
+	}
+	return &Figure{
+		ID:     "fig2",
+		Title:  "Measurement of NIC PCIe latency (loopback)",
+		XLabel: "Transfer Size (Bytes)",
+		YLabel: "Median Latency (ns)",
+		Series: []*stats.Series{total, pcieNS, frac},
+	}, nil
+}
+
+// Table1 reproduces the system-configuration table.
+func Table1() *Table {
+	t := &Table{
+		Title:   "Table 1: System configurations",
+		Columns: []string{"Name", "CPU", "NUMA", "Architecture", "Memory", "OS/Kernel", "Network Adapter", "LLC"},
+	}
+	for _, s := range sysconf.Systems() {
+		t.Rows = append(t.Rows, []string{
+			s.Name, s.CPU, s.NUMA, s.Arch, s.Memory, s.OS, s.Adapter.String(),
+			fmt.Sprintf("%dMB", s.LLCBytes>>20),
+		})
+	}
+	return t
+}
+
+// baselineTarget builds the Fig 4/5 setup: the named system with an
+// 8 KB host-warmed buffer window, no jitter for reproducible medians.
+func baselineTarget(name string, seed int64) (*bench.Target, error) {
+	sys, err := sysconf.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	return inst.Target(), nil
+}
+
+// Fig4 runs the baseline bandwidth comparison (Figure 4): BW_RD, BW_WR
+// and BW_RDWR for NFP6000-HSW and NetFPGA-HSW against the model, with a
+// warm 8 KB window.
+func Fig4(q Quality) ([]*Figure, error) {
+	cfg := pcie.DefaultGen3x8()
+	kinds := []struct {
+		id    string
+		title string
+		run   func(*bench.Target, bench.Params) (*bench.BandwidthResult, error)
+		model func(pcie.LinkConfig, int) float64
+	}{
+		{"fig4a", "PCIe Read Bandwidth", bench.BwRd, model.EffectiveReadBandwidth},
+		{"fig4b", "PCIe Write Bandwidth", bench.BwWr, model.EffectiveWriteBandwidth},
+		{"fig4c", "PCIe Read/Write Bandwidth", bench.BwRdWr, model.EffectiveBidirBandwidth},
+	}
+	var out []*Figure
+	for _, kind := range kinds {
+		fig := &Figure{
+			ID:     kind.id,
+			Title:  kind.title,
+			XLabel: "Transfer Size (Bytes)",
+			YLabel: "Bandwidth (Gb/s)",
+		}
+		mdl := &stats.Series{Name: "Model BW"}
+		eth := &stats.Series{Name: "40G Ethernet"}
+		for _, sz := range transferSizes() {
+			mdl.Append(float64(sz), kind.model(cfg, sz)/1e9)
+			eth.Append(float64(sz), model.EthernetLineRate(40e9, sz)/1e9)
+		}
+		fig.Series = append(fig.Series, mdl, eth)
+		for _, sysName := range []string{"NFP6000-HSW", "NetFPGA-HSW"} {
+			series := &stats.Series{Name: fmt.Sprintf("%s (%s)", kind.id, sysName)}
+			for _, sz := range transferSizes() {
+				tgt, err := baselineTarget(sysName, 11)
+				if err != nil {
+					return nil, err
+				}
+				res, err := kind.run(tgt, bench.Params{
+					WindowSize: 8 << 10, TransferSize: sz,
+					Cache: bench.HostWarm, Transactions: q.bwN(),
+				})
+				if err != nil {
+					return nil, err
+				}
+				series.Append(float64(sz), res.Gbps)
+			}
+			fig.Series = append(fig.Series, series)
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}
+
+// Fig5 runs the baseline latency comparison (Figure 5): median LAT_RD
+// and LAT_WRRD for both devices across transfer sizes.
+func Fig5(q Quality) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig5",
+		Title:  "Median DMA latency, NFP6000-HSW vs NetFPGA-HSW",
+		XLabel: "Transfer Size (Bytes)",
+		YLabel: "Latency (ns)",
+	}
+	for _, sysName := range []string{"NFP6000-HSW", "NetFPGA-HSW"} {
+		rd := &stats.Series{Name: "LAT_RD (" + sysName + ")"}
+		wr := &stats.Series{Name: "LAT_WRRD (" + sysName + ")"}
+		for _, sz := range latencySizes() {
+			tgt, err := baselineTarget(sysName, 13)
+			if err != nil {
+				return nil, err
+			}
+			p := bench.Params{
+				WindowSize: 8 << 10, TransferSize: sz,
+				Cache: bench.HostWarm, Transactions: q.latN(),
+			}
+			r1, err := bench.LatRd(tgt, p)
+			if err != nil {
+				return nil, err
+			}
+			rd.Append(float64(sz), r1.Summary.Median)
+			tgt, err = baselineTarget(sysName, 13)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := bench.LatWrRd(tgt, p)
+			if err != nil {
+				return nil, err
+			}
+			wr.Append(float64(sz), r2.Summary.Median)
+		}
+		fig.Series = append(fig.Series, rd, wr)
+	}
+	return fig, nil
+}
+
+// Fig6 produces the 64 B read-latency CDFs for the Xeon E5 and E3
+// systems (Figure 6), with the jitter models active.
+func Fig6(q Quality) (*Figure, error) {
+	fig := &Figure{
+		ID:     "fig6",
+		Title:  "Latency distribution, 64B DMA reads, warm cache",
+		XLabel: "Latency (ns)",
+		YLabel: "CDF",
+	}
+	for _, sysName := range []string{"NFP6000-HSW", "NFP6000-HSW-E3"} {
+		sys, err := sysconf.ByName(sysName)
+		if err != nil {
+			return nil, err
+		}
+		inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, Seed: 17})
+		if err != nil {
+			return nil, err
+		}
+		res, err := bench.LatRd(inst.Target(), bench.Params{
+			WindowSize: 8 << 10, TransferSize: 64,
+			Cache: bench.HostWarm, Transactions: q.cdfN(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		cdf, err := res.CDF()
+		if err != nil {
+			return nil, err
+		}
+		s := &stats.Series{Name: sysName}
+		s.X = cdf.Values
+		s.Y = cdf.Cum
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig7 sweeps the window size to expose LLC and DDIO effects on the
+// NFP6000-SNB system (Figure 7): (a) 8 B latency via the direct command
+// interface, cold vs warm; (b) 64 B bandwidth, cold vs warm.
+func Fig7(q Quality) ([]*Figure, error) {
+	figA := &Figure{
+		ID: "fig7a", Title: "Cache effects on latency (NFP6000-SNB)",
+		XLabel: "Window size (Bytes)", YLabel: "Latency (ns)",
+	}
+	figB := &Figure{
+		ID: "fig7b", Title: "Cache effects on bandwidth (NFP6000-SNB)",
+		XLabel: "Window size (Bytes)", YLabel: "Bandwidth (Gb/s)",
+	}
+	states := []bench.CacheState{bench.Cold, bench.HostWarm}
+	for _, cache := range states {
+		latRd := &stats.Series{Name: fmt.Sprintf("8B LAT_RD (%s)", cache)}
+		latWr := &stats.Series{Name: fmt.Sprintf("8B LAT_WRRD (%s)", cache)}
+		bwRd := &stats.Series{Name: fmt.Sprintf("64B BW_RD (%s)", cache)}
+		bwWr := &stats.Series{Name: fmt.Sprintf("64B BW_WR (%s)", cache)}
+		for _, win := range windowSizes() {
+			sys, err := sysconf.ByName("NFP6000-SNB")
+			if err != nil {
+				return nil, err
+			}
+			inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 19})
+			if err != nil {
+				return nil, err
+			}
+			tgt := inst.Target()
+			pl := bench.Params{
+				WindowSize: win, TransferSize: 8, Cache: cache,
+				Transactions: q.latN(), Direct: true,
+			}
+			r1, err := bench.LatRd(tgt, pl)
+			if err != nil {
+				return nil, err
+			}
+			latRd.Append(float64(win), r1.Summary.Median)
+			r2, err := bench.LatWrRd(tgt, pl)
+			if err != nil {
+				return nil, err
+			}
+			latWr.Append(float64(win), r2.Summary.Median)
+
+			pb := bench.Params{
+				WindowSize: win, TransferSize: 64, Cache: cache,
+				Transactions: q.bwN(),
+			}
+			b1, err := bench.BwRd(tgt, pb)
+			if err != nil {
+				return nil, err
+			}
+			bwRd.Append(float64(win), b1.Gbps)
+			b2, err := bench.BwWr(tgt, pb)
+			if err != nil {
+				return nil, err
+			}
+			bwWr.Append(float64(win), b2.Gbps)
+		}
+		figA.Series = append(figA.Series, latRd, latWr)
+		figB.Series = append(figB.Series, bwRd, bwWr)
+	}
+	return []*Figure{figA, figB}, nil
+}
+
+// Fig8 measures the NUMA penalty on NFP6000-BDW (Figure 8): percentage
+// change of warm-cache BW_RD between a node-local and a remote buffer,
+// for several transfer sizes across window sizes.
+func Fig8(q Quality) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig8", Title: "Local vs remote DMA reads, warm cache (NFP6000-BDW)",
+		XLabel: "Window size (Bytes)", YLabel: "% change of bandwidth",
+	}
+	for _, sz := range []int{64, 128, 256, 512} {
+		s := &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
+		for _, win := range windowSizes() {
+			run := func(node int) (float64, error) {
+				sys, err := sysconf.ByName("NFP6000-BDW")
+				if err != nil {
+					return 0, err
+				}
+				inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 23, BufferNode: node})
+				if err != nil {
+					return 0, err
+				}
+				res, err := bench.BwRd(inst.Target(), bench.Params{
+					WindowSize: win, TransferSize: sz,
+					Cache: bench.HostWarm, Transactions: q.bwN(),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Gbps, nil
+			}
+			local, err := run(0)
+			if err != nil {
+				return nil, err
+			}
+			remote, err := run(1)
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(win), 100*(remote-local)/local)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Fig9 measures the IOMMU impact on NFP6000-BDW (Figure 9): percentage
+// change of warm-cache BW_RD with the IOMMU enabled (4 KB mappings,
+// sp_off) relative to disabled, across window sizes.
+func Fig9(q Quality) (*Figure, error) {
+	fig := &Figure{
+		ID: "fig9", Title: "IOMMU impact on DMA reads, warm cache (NFP6000-BDW)",
+		XLabel: "Window size (Bytes)", YLabel: "% change of bandwidth",
+	}
+	for _, sz := range []int{64, 128, 256, 512} {
+		s := &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
+		for _, win := range windowSizes() {
+			run := func(iommuOn bool) (float64, error) {
+				sys, err := sysconf.ByName("NFP6000-BDW")
+				if err != nil {
+					return 0, err
+				}
+				inst, err := sys.Build(sysconf.Options{
+					NoJitter: true, Seed: 29, IOMMU: iommuOn, SuperPages: false,
+				})
+				if err != nil {
+					return 0, err
+				}
+				res, err := bench.BwRd(inst.Target(), bench.Params{
+					WindowSize: win, TransferSize: sz,
+					Cache: bench.HostWarm, Transactions: q.bwN(),
+				})
+				if err != nil {
+					return 0, err
+				}
+				return res.Gbps, nil
+			}
+			off, err := run(false)
+			if err != nil {
+				return nil, err
+			}
+			on, err := run(true)
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(win), 100*(on-off)/off)
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+// Table2 derives the paper's notable-findings table from fresh
+// measurements (Table 2), quoting the measured evidence for each
+// recommendation.
+func Table2(q Quality) (*Table, error) {
+	t := &Table{
+		Title:   "Table 2: Notable findings, derived experimentally",
+		Columns: []string{"Area", "Observation (measured)", "Recommendation"},
+	}
+
+	// IOMMU: throughput collapse beyond the IO-TLB reach.
+	fig9, err := Fig9(q)
+	if err != nil {
+		return nil, err
+	}
+	s64 := fig9.SeriesByName("64B BW_RD")
+	inReach := s64.YAt(64 << 10)
+	beyond := s64.YAt(16 << 20)
+	t.Rows = append(t.Rows, []string{
+		"IOMMU (Fig 9)",
+		fmt.Sprintf("64B read bandwidth %.0f%% inside the IO-TLB reach, %.0f%% beyond it", inReach, beyond),
+		"Co-locate I/O buffers into superpages.",
+	})
+
+	// DDIO: warm descriptor-sized accesses are faster.
+	sys, err := sysconf.ByName("NFP6000-SNB")
+	if err != nil {
+		return nil, err
+	}
+	run := func(cache bench.CacheState, win int) (float64, error) {
+		inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 31})
+		if err != nil {
+			return 0, err
+		}
+		res, err := bench.LatRd(inst.Target(), bench.Params{
+			WindowSize: win, TransferSize: 8, Cache: cache,
+			Transactions: q.latN(), Direct: true,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Summary.Median, nil
+	}
+	warm, err := run(bench.HostWarm, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	cold, err := run(bench.Cold, 64<<10)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"DDIO (Fig 7)",
+		fmt.Sprintf("small reads %.0fns faster when cache resident (%.0f vs %.0f)", cold-warm, warm, cold),
+		"DDIO improves descriptor ring access and small-packet receive.",
+	})
+
+	// NUMA small transfers: remote cache reads cost bandwidth.
+	fig8, err := Fig8(q)
+	if err != nil {
+		return nil, err
+	}
+	n64 := fig8.SeriesByName("64B BW_RD").YAt(64 << 10)
+	t.Rows = append(t.Rows, []string{
+		"NUMA, small transactions (Fig 8)",
+		fmt.Sprintf("64B remote reads lose %.0f%% of bandwidth vs local cache", -n64),
+		"Place descriptor rings on the node local to the device.",
+	})
+
+	// NUMA large transfers: locality stops mattering.
+	n512 := fig8.SeriesByName("512B BW_RD").YAt(64 << 10)
+	t.Rows = append(t.Rows, []string{
+		"NUMA, large transactions (Fig 8)",
+		fmt.Sprintf("512B remote reads change bandwidth by only %.1f%%", n512),
+		"Place packet buffers on the node where processing happens.",
+	})
+	return t, nil
+}

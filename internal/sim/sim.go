@@ -1,0 +1,257 @@
+// Package sim provides the discrete-event simulation kernel underlying
+// pciebench's performance tier.
+//
+// The kernel keeps virtual time in integer picoseconds, runs callbacks
+// from a binary-heap event queue, and offers the virtual-clock resource
+// abstractions (Server, MultiServer) with which link directions, pipeline
+// slots, DRAM channels and IOMMU page walkers are modeled. All randomness
+// flows from a single seeded source so simulations are reproducible
+// bit-for-bit.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is simulated time in picoseconds.
+type Time int64
+
+// Convenient durations.
+const (
+	Picosecond  Time = 1
+	Nanosecond  Time = 1000
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Nanoseconds returns the time as a float64 nanosecond count.
+func (t Time) Nanoseconds() float64 { return float64(t) / float64(Nanosecond) }
+
+// Seconds returns the time as float64 seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time with an adaptive unit.
+func (t Time) String() string {
+	switch {
+	case t < Nanosecond:
+		return fmt.Sprintf("%dps", int64(t))
+	case t < Microsecond:
+		return fmt.Sprintf("%.1fns", t.Nanoseconds())
+	case t < Millisecond:
+		return fmt.Sprintf("%.2fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.2fms", float64(t)/float64(Millisecond))
+	}
+	return fmt.Sprintf("%.3fs", t.Seconds())
+}
+
+// FromNS converts a float64 nanosecond value to Time.
+func FromNS(ns float64) Time { return Time(ns * float64(Nanosecond)) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among same-time events
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event simulator instance. It is not safe for
+// concurrent use; a simulation is a single logical thread of control.
+type Kernel struct {
+	now    Time
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// Executed counts events run, a cheap progress/debug metric.
+	Executed uint64
+}
+
+// New returns a kernel whose random source is seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current simulated time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// At schedules fn to run at absolute time t. Scheduling in the past is a
+// programming error and panics.
+func (k *Kernel) At(t Time, fn func()) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, k.now))
+	}
+	heap.Push(&k.events, event{at: t, seq: k.seq, fn: fn})
+	k.seq++
+}
+
+// After schedules fn to run d picoseconds from now.
+func (k *Kernel) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.At(k.now+d, fn)
+}
+
+// Run executes events until the queue is empty and returns the final
+// time.
+func (k *Kernel) Run() Time {
+	for len(k.events) > 0 {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.Executed++
+		e.fn()
+	}
+	return k.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t. Events scheduled beyond t remain queued.
+func (k *Kernel) RunUntil(t Time) {
+	for len(k.events) > 0 && k.events[0].at <= t {
+		e := heap.Pop(&k.events).(event)
+		k.now = e.at
+		k.Executed++
+		e.fn()
+	}
+	if k.now < t {
+		k.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Server is a single-server FIFO resource using virtual-clock
+// bookkeeping: callers ask for an amount of service time and receive the
+// completion timestamp; requests queue implicitly by pushing the
+// next-free horizon forward. This models any fully serialized resource —
+// one direction of a PCIe link, a DMA engine's issue stage, a memory
+// channel.
+type Server struct {
+	k    *Kernel
+	free Time
+	busy Time // cumulative service time, for utilization accounting
+}
+
+// NewServer returns a server bound to kernel k.
+func NewServer(k *Kernel) *Server { return &Server{k: k} }
+
+// Schedule reserves d of service time and returns the completion time.
+// Service begins at max(now, next-free).
+func (s *Server) Schedule(d Time) Time {
+	start := s.k.now
+	if s.free > start {
+		start = s.free
+	}
+	s.free = start + d
+	s.busy += d
+	return s.free
+}
+
+// ScheduleAt reserves d of service starting no earlier than t.
+func (s *Server) ScheduleAt(t Time, d Time) Time {
+	start := t
+	if s.k.now > start {
+		start = s.k.now
+	}
+	if s.free > start {
+		start = s.free
+	}
+	s.free = start + d
+	s.busy += d
+	return s.free
+}
+
+// NextFree returns the time at which the server falls idle.
+func (s *Server) NextFree() Time { return s.free }
+
+// Utilization returns busy time divided by elapsed time (0 if no time
+// has passed).
+func (s *Server) Utilization() float64 {
+	if s.k.now == 0 {
+		return 0
+	}
+	return float64(s.busy) / float64(s.k.now)
+}
+
+// MultiServer is an m-server FIFO resource: up to m requests are in
+// service concurrently, further requests wait for the earliest free
+// slot. It models resources with internal parallelism — IOMMU page
+// walkers, root-complex pipeline slots, DRAM banks.
+type MultiServer struct {
+	k     *Kernel
+	slots []Time
+	busy  Time
+}
+
+// NewMultiServer returns an m-slot server (m >= 1).
+func NewMultiServer(k *Kernel, m int) *MultiServer {
+	if m < 1 {
+		m = 1
+	}
+	return &MultiServer{k: k, slots: make([]Time, m)}
+}
+
+// Schedule reserves d of service on the earliest available slot,
+// returning the completion time.
+func (s *MultiServer) Schedule(d Time) Time {
+	return s.ScheduleAt(s.k.now, d)
+}
+
+// ScheduleAt reserves d of service starting no earlier than t.
+func (s *MultiServer) ScheduleAt(t Time, d Time) Time {
+	// Find the earliest-free slot.
+	best := 0
+	for i, f := range s.slots {
+		if f < s.slots[best] {
+			best = i
+		}
+		_ = f
+	}
+	start := t
+	if s.k.now > start {
+		start = s.k.now
+	}
+	if s.slots[best] > start {
+		start = s.slots[best]
+	}
+	s.slots[best] = start + d
+	s.busy += d
+	return s.slots[best]
+}
+
+// Slots returns the number of parallel servers.
+func (s *MultiServer) Slots() int { return len(s.slots) }
+
+// Utilization returns aggregate busy time over elapsed time times slots.
+func (s *MultiServer) Utilization() float64 {
+	if s.k.now == 0 {
+		return 0
+	}
+	return float64(s.busy) / (float64(s.k.now) * float64(len(s.slots)))
+}

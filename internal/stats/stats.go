@@ -1,0 +1,299 @@
+// Package stats computes the summary statistics, distributions and
+// series the pcie-bench control programs report: average, median,
+// minimum, maximum and tail percentiles of latency samples, CDFs,
+// histograms, and time series (paper §5.4).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// ErrNoSamples is returned when a computation needs at least one sample.
+var ErrNoSamples = errors.New("stats: no samples")
+
+// Sample is one latency observation in nanoseconds.
+type Sample = float64
+
+// Summary holds the descriptive statistics of a sample set.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+	P99    float64
+	P999   float64
+	StdDev float64
+}
+
+// Summarize computes a Summary over samples. The input slice is not
+// modified.
+func Summarize(samples []Sample) (Summary, error) {
+	if len(samples) == 0 {
+		return Summary{}, ErrNoSamples
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	var sum, sumsq float64
+	for _, v := range sorted {
+		sum += v
+		sumsq += v * v
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Median: quantileSorted(sorted, 0.5),
+		P95:    quantileSorted(sorted, 0.95),
+		P99:    quantileSorted(sorted, 0.99),
+		P999:   quantileSorted(sorted, 0.999),
+		StdDev: math.Sqrt(variance),
+	}, nil
+}
+
+// String renders the summary in one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%.1f med=%.1f p95=%.1f p99=%.1f p99.9=%.1f max=%.1f",
+		s.N, s.Mean, s.Min, s.Median, s.P95, s.P99, s.P999, s.Max)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of samples using linear
+// interpolation between order statistics.
+func Quantile(samples []Sample, q float64) (float64, error) {
+	if len(samples) == 0 {
+		return 0, ErrNoSamples
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, q), nil
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	// Values are the sorted distinct sample values.
+	Values []float64
+	// Cum[i] is the fraction of samples <= Values[i].
+	Cum []float64
+}
+
+// NewCDF builds the empirical CDF of samples.
+func NewCDF(samples []Sample) (*CDF, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	c := &CDF{}
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to their final (highest)
+		// cumulative fraction.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		c.Values = append(c.Values, sorted[i])
+		c.Cum = append(c.Cum, float64(i+1)/n)
+	}
+	return c, nil
+}
+
+// At returns the CDF evaluated at x: the fraction of samples <= x.
+func (c *CDF) At(x float64) float64 {
+	i := sort.SearchFloat64s(c.Values, x)
+	if i < len(c.Values) && c.Values[i] == x {
+		return c.Cum[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return c.Cum[i-1]
+}
+
+// InverseAt returns the smallest sample value v with CDF(v) >= p.
+func (c *CDF) InverseAt(p float64) float64 {
+	i := sort.SearchFloat64s(c.Cum, p)
+	if i >= len(c.Values) {
+		return c.Values[len(c.Values)-1]
+	}
+	return c.Values[i]
+}
+
+// TSV renders the CDF as two tab-separated columns (value, fraction).
+func (c *CDF) TSV() string {
+	var b strings.Builder
+	for i := range c.Values {
+		fmt.Fprintf(&b, "%.1f\t%.6f\n", c.Values[i], c.Cum[i])
+	}
+	return b.String()
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	Lo, Hi  float64 // bounds of the binned range
+	Width   float64
+	Counts  []int
+	Under   int // samples below Lo
+	Over    int // samples at or above Hi
+	Samples int
+}
+
+// NewHistogram builds a histogram of samples with the given number of
+// equal-width bins over [lo, hi).
+func NewHistogram(samples []Sample, lo, hi float64, bins int) (*Histogram, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	if bins < 1 || hi <= lo {
+		return nil, fmt.Errorf("stats: bad histogram shape [%v,%v)/%d", lo, hi, bins)
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+	for _, v := range samples {
+		h.Samples++
+		switch {
+		case v < lo:
+			h.Under++
+		case v >= hi:
+			h.Over++
+		default:
+			idx := int((v - lo) / h.Width)
+			if idx >= bins {
+				idx = bins - 1
+			}
+			h.Counts[idx]++
+		}
+	}
+	return h, nil
+}
+
+// Mode returns the midpoint of the fullest bin.
+func (h *Histogram) Mode() float64 {
+	best := 0
+	for i, c := range h.Counts {
+		if c > h.Counts[best] {
+			best = i
+		}
+	}
+	return h.Lo + (float64(best)+0.5)*h.Width
+}
+
+// Series is an (x, y) data series, e.g. bandwidth against transfer size,
+// rendered as TSV for plotting.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// TSV renders the series as tab-separated x/y rows with a header line.
+func (s *Series) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for i := range s.X {
+		fmt.Fprintf(&b, "%g\t%g\n", s.X[i], s.Y[i])
+	}
+	return b.String()
+}
+
+// YAt returns the y value at the first x >= want, or the last y. Series
+// X values must be ascending.
+func (s *Series) YAt(want float64) float64 {
+	for i, x := range s.X {
+		if x >= want {
+			return s.Y[i]
+		}
+	}
+	return s.Y[len(s.Y)-1]
+}
+
+// Welford is a streaming mean/variance accumulator for cases where
+// retaining every sample is wasteful (bandwidth runs with millions of
+// transactions).
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest observation.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the population variance.
+func (w *Welford) Variance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

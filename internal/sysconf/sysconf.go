@@ -1,0 +1,305 @@
+// Package sysconf defines the six evaluation systems of the paper's
+// Table 1 and assembles runnable benchmark targets from them.
+//
+// Each System couples a host-side calibration (memory latencies, root
+// complex pipeline, link parameters, latency-jitter model) with the
+// network adapter installed in it (NFP-6000 or NetFPGA-SUME). The
+// numeric calibrations are anchored to measurements the paper itself
+// reports; see the per-field comments and DESIGN.md for the mapping.
+package sysconf
+
+import (
+	"fmt"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/device"
+	"pciebench/internal/device/netfpga"
+	"pciebench/internal/device/nfp"
+	"pciebench/internal/hostif"
+	"pciebench/internal/iommu"
+	"pciebench/internal/mem"
+	"pciebench/internal/pcie"
+	"pciebench/internal/rc"
+	"pciebench/internal/sim"
+)
+
+// Adapter identifies the plugged-in benchmark device.
+type Adapter int
+
+// Adapters used in the paper.
+const (
+	NFP6000 Adapter = iota
+	NetFPGASUME
+)
+
+// String names the adapter as in Table 1.
+func (a Adapter) String() string {
+	if a == NetFPGASUME {
+		return "NetFPGA-SUME"
+	}
+	return "NFP6000 1.2GHz"
+}
+
+// System is one row of Table 1 plus its simulator calibration.
+type System struct {
+	Name    string
+	CPU     string
+	NUMA    string // "2-way" or "no"
+	Arch    string
+	Memory  string
+	OS      string
+	Adapter Adapter
+
+	// Calibration.
+	Nodes       int
+	LLCBytes    int
+	LLCWays     int
+	DDIOWays    int
+	LLCLatency  sim.Time
+	DRAMLatency sim.Time
+	RemoteLat   sim.Time
+	PipeLatency sim.Time
+	PipeSlots   int
+	WireDelay   sim.Time
+	Jitter      rc.Jitter
+}
+
+// XeonE5Jitter is the narrow per-TLP latency variation of the Xeon E5
+// root complexes: Fig 6 reports, for 64B reads on NFP6000-HSW, a
+// 520 ns minimum, 547 ns median, 99.9% of samples within an 80 ns band
+// and a 947 ns maximum over 2M transactions. The anchors are the deltas
+// over the minimum.
+func XeonE5Jitter() rc.Jitter {
+	j, err := rc.NewQuantileJitter([]rc.QuantilePoint{
+		{P: 0.0, Delay: 0},
+		{P: 0.2, Delay: 0},
+		{P: 0.5, Delay: 27 * sim.Nanosecond},
+		{P: 0.95, Delay: 55 * sim.Nanosecond},
+		{P: 0.999, Delay: 80 * sim.Nanosecond},
+		{P: 0.9999, Delay: 100 * sim.Nanosecond},
+		{P: 1.0, Delay: 427 * sim.Nanosecond},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// XeonE3Jitter is the heavy-tailed model for the Xeon E3-1226v3 root
+// complex (Fig 6 / §6.2): minimum 493 ns but median 1213 ns, sharp
+// growth from the ~63rd percentile (p90 ≈ 2x median), p99 = 5707 ns,
+// p99.9 = 11987 ns, and rare excursions beyond 1 ms up to 5.8 ms. The
+// paper suspects hidden power-saving states; this is the explicit
+// synthetic stand-in, anchored to those reported percentiles as deltas
+// over the minimum.
+func XeonE3Jitter() rc.Jitter {
+	j, err := rc.NewQuantileJitter([]rc.QuantilePoint{
+		{P: 0.0, Delay: 0},
+		{P: 0.35, Delay: 0},
+		{P: 0.5, Delay: 720 * sim.Nanosecond},
+		{P: 0.63, Delay: 980 * sim.Nanosecond},
+		{P: 0.90, Delay: 1933 * sim.Nanosecond},
+		{P: 0.99, Delay: 5214 * sim.Nanosecond},
+		{P: 0.999, Delay: 11494 * sim.Nanosecond},
+		{P: 0.9999, Delay: 1 * sim.Millisecond},
+		{P: 1.0, Delay: sim.Time(5.3 * float64(sim.Millisecond))},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return j
+}
+
+// Systems returns Table 1: the six measured configurations.
+//
+// The common Xeon E5 host calibration anchors to: NFP bulk-DMA 64B warm
+// read median 547 ns on Haswell (Fig 6), NetFPGA ~450 ns (Fig 5),
+// warm-vs-cold delta 70 ns (Fig 7), remote-node penalty ~100 ns
+// (Fig 8), and a root-complex pipeline able to sustain a transaction
+// every ~4 ns (§4.2). Per-system WireDelay trims reproduce the small
+// baseline differences the paper reports between generations (e.g. 64B
+// reads at ~430 ns on Broadwell in §6.5 vs ~450 ns on Haswell).
+func Systems() []System {
+	e5 := func(name, cpu, numaStr, arch, memory, os string, nodes int, llcMB int, adapter Adapter, wire sim.Time) System {
+		return System{
+			Name: name, CPU: cpu, NUMA: numaStr, Arch: arch, Memory: memory, OS: os,
+			Adapter: adapter, Nodes: nodes,
+			LLCBytes: llcMB << 20, LLCWays: 20, DDIOWays: 2,
+			LLCLatency: 50 * sim.Nanosecond, DRAMLatency: 120 * sim.Nanosecond,
+			RemoteLat:   100 * sim.Nanosecond,
+			PipeLatency: 100 * sim.Nanosecond, PipeSlots: 24, WireDelay: wire,
+			Jitter: XeonE5Jitter(),
+		}
+	}
+	e3 := e5("NFP6000-HSW-E3", "Intel Xeon E3-1226v3 3.3GHz", "no", "Haswell",
+		"16GB", "Ubuntu 4.4.0-31", 1, 15, NFP6000, 93*sim.Nanosecond)
+	// The E3's minimum is 27ns below the E5's (493 vs 520) with a
+	// radically different tail.
+	e3.Jitter = XeonE3Jitter()
+	return []System{
+		e5("NFP6000-BDW", "Intel Xeon E5-2630v4 2.2GHz", "2-way", "Broadwell",
+			"128GB", "Ubuntu 3.19.0-69", 2, 25, NFP6000, 112*sim.Nanosecond),
+		e5("NetFPGA-HSW", "Intel Xeon E5-2637v3 3.5GHz", "no", "Haswell",
+			"64GB", "Ubuntu 3.19.0-43", 1, 15, NetFPGASUME, 120*sim.Nanosecond),
+		e5("NFP6000-HSW", "Intel Xeon E5-2637v3 3.5GHz", "no", "Haswell",
+			"64GB", "Ubuntu 3.19.0-43", 1, 15, NFP6000, 120*sim.Nanosecond),
+		e3,
+		e5("NFP6000-IB", "Intel Xeon E5-2620v2 2.1GHz", "2-way", "Ivy Bridge",
+			"32GB", "Ubuntu 3.19.0-30", 2, 15, NFP6000, 130*sim.Nanosecond),
+		e5("NFP6000-SNB", "Intel Xeon E5-2630 2.3GHz", "no", "Sandy Bridge",
+			"16GB", "Ubuntu 3.19.0-30", 1, 15, NFP6000, 126*sim.Nanosecond),
+	}
+}
+
+// ByName returns the named system.
+func ByName(name string) (System, error) {
+	for _, s := range Systems() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return System{}, fmt.Errorf("sysconf: unknown system %q", name)
+}
+
+// Options configures the assembly of a benchmark instance.
+type Options struct {
+	// Seed drives all simulation randomness (0 uses 1).
+	Seed int64
+	// IOMMU interposes the IOMMU in the DMA path (§6.5); off by
+	// default like the paper's baseline runs.
+	IOMMU bool
+	// IOMMUConfig overrides the default IOMMU calibration (64 entries,
+	// 330ns walks, 6 walkers) when non-nil.
+	IOMMUConfig *iommu.Config
+	// SuperPages maps the buffer with the allocation's natural page
+	// size; false forces 4KB entries (the paper's sp_off).
+	SuperPages bool
+	// BufferSize is the host DMA buffer size (default 64MB +4KB of
+	// slack for offset experiments).
+	BufferSize int
+	// BufferNode selects the NUMA node for the buffer (§6.4).
+	BufferNode int
+	// AllocMode overrides the driver's allocation strategy (default:
+	// NFP chunked 4MB, NetFPGA hugetlbfs 1GB, per §5.3).
+	AllocMode *hostif.AllocMode
+	// NoJitter disables the per-system latency jitter model (useful
+	// for deterministic calibration tests).
+	NoJitter bool
+	// Link overrides the PCIe link configuration (default Gen3 x8,
+	// the paper's setup). Used by the Gen4 projection experiments the
+	// paper's §6 anticipates.
+	Link *pcie.LinkConfig
+}
+
+// Instance is an assembled system ready to run benchmarks.
+type Instance struct {
+	System System
+	Kernel *sim.Kernel
+	Mem    *mem.System
+	IOMMU  *iommu.IOMMU // nil when disabled
+	Host   *hostif.Host
+	RC     *rc.RootComplex
+	Engine *device.Engine
+	Buffer *hostif.Buffer
+}
+
+// Target returns the bench.Target view of the instance.
+func (i *Instance) Target() *bench.Target {
+	return &bench.Target{Host: i.Host, Engine: i.Engine, Buffer: i.Buffer}
+}
+
+// Build assembles a runnable instance of the system.
+func (s System) Build(opt Options) (*Instance, error) {
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	k := sim.New(seed)
+
+	ms, err := mem.NewSystem(mem.Config{
+		Nodes: s.Nodes,
+		Cache: mem.CacheConfig{
+			SizeBytes: s.LLCBytes,
+			Ways:      s.LLCWays,
+			LineSize:  pcie.CacheLineSize,
+			DDIOWays:  s.DDIOWays,
+		},
+		LLCLatency:    s.LLCLatency,
+		DRAMLatency:   s.DRAMLatency,
+		RemoteLatency: s.RemoteLat,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	}
+
+	var mmu *iommu.IOMMU
+	if opt.IOMMU {
+		cfg := iommu.DefaultConfig()
+		if opt.IOMMUConfig != nil {
+			cfg = *opt.IOMMUConfig
+		}
+		mmu = iommu.New(k, cfg)
+	}
+	host := hostif.New(ms, mmu)
+
+	jitter := s.Jitter
+	if opt.NoJitter {
+		jitter = nil
+	}
+	link := pcie.DefaultGen3x8()
+	if opt.Link != nil {
+		link = *opt.Link
+	}
+	complex, err := rc.New(k, rc.Config{
+		Link:        link,
+		PipeLatency: s.PipeLatency,
+		PipeSlots:   s.PipeSlots,
+		WireDelay:   s.WireDelay,
+		Jitter:      jitter,
+	}, ms, mmu, host)
+	if err != nil {
+		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	}
+
+	var eng *device.Engine
+	switch s.Adapter {
+	case NetFPGASUME:
+		eng, err = netfpga.New(k, complex)
+	default:
+		eng, err = nfp.New(k, complex)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	}
+
+	size := opt.BufferSize
+	if size == 0 {
+		size = 64<<20 + 4096
+	}
+	mode := hostif.Chunked4M
+	if s.Adapter == NetFPGASUME {
+		mode = hostif.Huge1G
+	}
+	if opt.AllocMode != nil {
+		mode = *opt.AllocMode
+	}
+	mapPage := iommu.Page4K
+	if opt.SuperPages {
+		mapPage = 0 // natural page size
+	}
+	buf, err := host.Alloc(size, opt.BufferNode, mode, mapPage)
+	if err != nil {
+		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	}
+
+	return &Instance{
+		System: s,
+		Kernel: k,
+		Mem:    ms,
+		IOMMU:  mmu,
+		Host:   host,
+		RC:     complex,
+		Engine: eng,
+		Buffer: buf,
+	}, nil
+}

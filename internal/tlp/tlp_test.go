@@ -1,0 +1,348 @@
+package tlp
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeviceID(t *testing.T) {
+	id := MakeDeviceID(0x3f, 0x1c, 5)
+	if id.Bus() != 0x3f || id.Device() != 0x1c || id.Function() != 5 {
+		t.Errorf("DeviceID round trip failed: %v", id)
+	}
+	if got := id.String(); got != "3f:1c.5" {
+		t.Errorf("String() = %q, want 3f:1c.5", got)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindMemRead: "MRd", KindMemWrite: "MWr",
+		KindCpl: "Cpl", KindCplD: "CplD", KindInvalid: "INVALID",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestMemReadRoundTrip(t *testing.T) {
+	for _, addr64 := range []bool{false, true} {
+		in := MemRead{
+			Requester: MakeDeviceID(1, 2, 3),
+			Tag:       42,
+			Addr:      0x1234_5678,
+			FirstBE:   0xF,
+			LastBE:    0x3,
+			LengthDW:  16,
+			TC:        2,
+			Addr64:    addr64,
+		}
+		if addr64 {
+			in.Addr = 0x8_1234_5678
+		}
+		buf, err := in.AppendTo(nil)
+		if err != nil {
+			t.Fatalf("AppendTo: %v", err)
+		}
+		if len(buf) != in.WireBytes() {
+			t.Errorf("wire bytes %d, want %d", len(buf), in.WireBytes())
+		}
+		var out MemRead
+		n, err := out.DecodeFromBytes(buf)
+		if err != nil {
+			t.Fatalf("DecodeFromBytes: %v", err)
+		}
+		if n != len(buf) {
+			t.Errorf("consumed %d, want %d", n, len(buf))
+		}
+		if out != in {
+			t.Errorf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+		}
+	}
+}
+
+func TestMemRead1024DWLength(t *testing.T) {
+	in := MemRead{LengthDW: 1024, Addr: 0x1000, FirstBE: 0xF, LastBE: 0xF}
+	buf, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1024 DW encodes as 0 in the length field.
+	if buf[2]&0x3 != 0 || buf[3] != 0 {
+		t.Errorf("1024 DW should encode as 0, got %x %x", buf[2]&0x3, buf[3])
+	}
+	var out MemRead
+	if _, err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.LengthDW != 1024 {
+		t.Errorf("decoded LengthDW = %d, want 1024", out.LengthDW)
+	}
+}
+
+func TestMemReadErrors(t *testing.T) {
+	if _, err := (&MemRead{LengthDW: 0, Addr: 0}).AppendTo(nil); err != ErrPayloadRange {
+		t.Errorf("LengthDW=0: err = %v, want ErrPayloadRange", err)
+	}
+	if _, err := (&MemRead{LengthDW: 1025}).AppendTo(nil); err != ErrPayloadRange {
+		t.Errorf("LengthDW=1025: err = %v, want ErrPayloadRange", err)
+	}
+	if _, err := (&MemRead{LengthDW: 1, Addr: 2}).AppendTo(nil); err != ErrNotAligned {
+		t.Errorf("unaligned addr: err = %v, want ErrNotAligned", err)
+	}
+	var mr MemRead
+	if _, err := mr.DecodeFromBytes([]byte{0, 0}); err != ErrShort {
+		t.Errorf("short buffer: err = %v, want ErrShort", err)
+	}
+	// A write header is not a read.
+	w := MemWrite{Addr: 0, Data: []byte{1, 2, 3, 4}}
+	buf, _ := w.AppendTo(nil)
+	if _, err := mr.DecodeFromBytes(buf); err != ErrBadType {
+		t.Errorf("write as read: err = %v, want ErrBadType", err)
+	}
+}
+
+func TestMemWriteRoundTrip(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	in := MemWrite{
+		Requester: MakeDeviceID(0, 3, 0),
+		Addr:      0xF000,
+		FirstBE:   0xF,
+		LastBE:    0x1,
+		Addr64:    true,
+		Data:      data,
+	}
+	buf, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Payload is DW-padded on the wire: 9 bytes -> 12.
+	if want := 16 + 12; len(buf) != want {
+		t.Errorf("wire size %d, want %d", len(buf), want)
+	}
+	var out MemWrite
+	n, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d, want %d", n, len(buf))
+	}
+	if out.Addr != in.Addr || out.Requester != in.Requester {
+		t.Errorf("header mismatch: %+v", out)
+	}
+	if !bytes.Equal(out.Data[:9], data) {
+		t.Errorf("payload mismatch: %x", out.Data)
+	}
+}
+
+func TestMemWriteErrors(t *testing.T) {
+	if _, err := (&MemWrite{}).AppendTo(nil); err != ErrPayloadRange {
+		t.Errorf("empty payload: %v, want ErrPayloadRange", err)
+	}
+	big := make([]byte, MaxPayload+1)
+	if _, err := (&MemWrite{Data: big}).AppendTo(nil); err != ErrPayloadRange {
+		t.Errorf("oversize payload: %v, want ErrPayloadRange", err)
+	}
+	if _, err := (&MemWrite{Addr: 1, Data: []byte{1}}).AppendTo(nil); err != ErrNotAligned {
+		t.Errorf("unaligned: %v, want ErrNotAligned", err)
+	}
+}
+
+func TestCompletionRoundTrip(t *testing.T) {
+	in := Completion{
+		Completer: MakeDeviceID(0, 0, 0),
+		Status:    CplSuccess,
+		ByteCount: 256,
+		Requester: MakeDeviceID(2, 0, 1),
+		Tag:       17,
+		LowerAddr: 0x40,
+		Data:      bytes.Repeat([]byte{0xAB}, 64),
+	}
+	buf, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Completion
+	n, err := out.DecodeFromBytes(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d, want %d", n, len(buf))
+	}
+	if out.ByteCount != 256 || out.Tag != 17 || out.LowerAddr != 0x40 {
+		t.Errorf("field mismatch: %+v", out)
+	}
+	if out.Kind() != KindCplD {
+		t.Errorf("Kind = %v, want CplD", out.Kind())
+	}
+	if !bytes.Equal(out.Data, in.Data) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestCompletionNoData(t *testing.T) {
+	in := Completion{Status: CplUnsupported, ByteCount: 4, Tag: 3}
+	buf, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 12 {
+		t.Errorf("Cpl wire size %d, want 12", len(buf))
+	}
+	var out Completion
+	if _, err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind() != KindCpl {
+		t.Errorf("Kind = %v, want Cpl", out.Kind())
+	}
+	if out.Status != CplUnsupported {
+		t.Errorf("Status = %v, want UR", out.Status)
+	}
+}
+
+func TestCompletionByteCount4096(t *testing.T) {
+	in := Completion{ByteCount: 4096, Data: make([]byte, 128)}
+	buf, err := in.AppendTo(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Completion
+	if _, err := out.DecodeFromBytes(buf); err != nil {
+		t.Fatal(err)
+	}
+	if out.ByteCount != 4096 {
+		t.Errorf("ByteCount = %d, want 4096", out.ByteCount)
+	}
+}
+
+func TestDecodeDispatch(t *testing.T) {
+	r := MemRead{Addr: 0x100, LengthDW: 2, FirstBE: 0xF, LastBE: 0xF}
+	w := MemWrite{Addr: 0x200, Data: make([]byte, 8), FirstBE: 0xF, LastBE: 0xF}
+	c := Completion{ByteCount: 8, Data: make([]byte, 8)}
+
+	var buf []byte
+	var err error
+	if buf, err = r.AppendTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = w.AppendTo(buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf, err = c.AppendTo(buf); err != nil {
+		t.Fatal(err)
+	}
+
+	wantKinds := []Kind{KindMemRead, KindMemWrite, KindCplD}
+	for i, want := range wantKinds {
+		p, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if p.Kind() != want {
+			t.Errorf("packet %d: kind %v, want %v", i, p.Kind(), want)
+		}
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		t.Errorf("%d trailing bytes", len(buf))
+	}
+	if _, _, err := Decode([]byte{0xFF, 0, 0, 1}); err != ErrBadType {
+		t.Errorf("garbage: %v, want ErrBadType", err)
+	}
+	if _, _, err := Decode(nil); err != ErrShort {
+		t.Errorf("nil: %v, want ErrShort", err)
+	}
+}
+
+func TestStringsAreInformative(t *testing.T) {
+	r := &MemRead{Addr: 0x1000, LengthDW: 4, Tag: 9}
+	if s := r.String(); !strings.Contains(s, "MRd") || !strings.Contains(s, "0x1000") {
+		t.Errorf("MemRead.String() = %q", s)
+	}
+	w := &MemWrite{Addr: 0x2000, Data: make([]byte, 64)}
+	if s := w.String(); !strings.Contains(s, "MWr") {
+		t.Errorf("MemWrite.String() = %q", s)
+	}
+	c := &Completion{ByteCount: 64, Data: make([]byte, 64)}
+	if s := c.String(); !strings.Contains(s, "CplD") {
+		t.Errorf("Completion.String() = %q", s)
+	}
+	if s := CplStatus(7).String(); !strings.Contains(s, "7") {
+		t.Errorf("odd status String() = %q", s)
+	}
+}
+
+// Property: MemRead encode/decode is an identity for all valid field
+// combinations.
+func TestMemReadRoundTripProperty(t *testing.T) {
+	f := func(req uint16, tag uint8, addr uint64, lenDW uint16, tc uint8, a64 bool) bool {
+		in := MemRead{
+			Requester: DeviceID(req),
+			Tag:       tag,
+			Addr:      addr &^ 0x3,
+			FirstBE:   0xF,
+			LastBE:    0xF,
+			LengthDW:  int(lenDW%1024) + 1,
+			TC:        tc & 0x7,
+			Addr64:    a64,
+		}
+		if !a64 {
+			in.Addr &= 0xFFFF_FFFF
+		}
+		if in.LengthDW == 1 {
+			in.LastBE = 0
+		}
+		buf, err := in.AppendTo(nil)
+		if err != nil {
+			return false
+		}
+		var out MemRead
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Completion encode/decode preserves all fields and payload.
+func TestCompletionRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(cid, rid uint16, tag uint8, la uint8, bc uint16, ndw uint8) bool {
+		n := (int(ndw%64) + 1) * 4
+		data := make([]byte, n)
+		rng.Read(data)
+		in := Completion{
+			Completer: DeviceID(cid),
+			Status:    CplSuccess,
+			ByteCount: int(bc%4096) + 1,
+			Requester: DeviceID(rid),
+			Tag:       tag,
+			LowerAddr: la & 0x7F,
+			Data:      data,
+		}
+		buf, err := in.AppendTo(nil)
+		if err != nil {
+			return false
+		}
+		var out Completion
+		if _, err := out.DecodeFromBytes(buf); err != nil {
+			return false
+		}
+		return out.Completer == in.Completer && out.Requester == in.Requester &&
+			out.Tag == in.Tag && out.LowerAddr == in.LowerAddr &&
+			out.ByteCount == in.ByteCount && bytes.Equal(out.Data, in.Data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
