@@ -1,0 +1,49 @@
+# pciebench — reproduction of "Understanding PCIe performance for end
+# host networking" (SIGCOMM 2018). CI runs exactly these targets; run
+# them locally before pushing.
+
+GO ?= go
+
+.PHONY: all build test test-short race fmt fmt-check vet bench bench-smoke clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+# Full test suite (figure/table shape checks included, ~1 min on one core).
+test:
+	$(GO) test ./...
+
+# Seconds-fast subset: skips the heavyweight experiment sweeps.
+test-short:
+	$(GO) test -short ./...
+
+# Full suite under the race detector; the parallel experiment engine
+# must stay data-race free at any worker count.
+race:
+	$(GO) test -race ./...
+
+fmt:
+	gofmt -w .
+
+# Fails if any file is not gofmt-clean (what CI runs).
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (regenerates every figure as a testing.B target).
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One iteration of every benchmark: cheap CI smoke that the bench
+# harness still runs end to end.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+clean:
+	rm -rf repro-out
+	$(GO) clean ./...

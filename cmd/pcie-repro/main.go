@@ -8,6 +8,11 @@
 //	pcie-repro                 # quick run into ./repro-out
 //	pcie-repro -full -out dir  # paper-scale sample counts
 //	pcie-repro -only fig9      # a single experiment
+//	pcie-repro -parallel 8     # sweep worker count (default GOMAXPROCS)
+//
+// Experiment points run on the internal/runner worker pool; results are
+// collected in submission order, so the generated files are
+// byte-identical for every -parallel value.
 package main
 
 import (
@@ -23,9 +28,10 @@ import (
 
 func main() {
 	var (
-		out  = flag.String("out", "repro-out", "output directory for TSV series")
-		full = flag.Bool("full", false, "paper-scale sample counts (slower)")
-		only = flag.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
+		out      = flag.String("out", "repro-out", "output directory for TSV series")
+		full     = flag.Bool("full", false, "paper-scale sample counts (slower)")
+		only     = flag.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
+		parallel = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS); output is identical for any value")
 	)
 	flag.Parse()
 
@@ -33,6 +39,7 @@ func main() {
 	if *full {
 		q = report.Full
 	}
+	report.SetParallelism(*parallel)
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fatal(err)
 	}

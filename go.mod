@@ -1,0 +1,3 @@
+module pciebench
+
+go 1.24

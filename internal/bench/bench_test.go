@@ -13,11 +13,11 @@ import (
 	"pciebench/internal/sim"
 )
 
-// buildTarget assembles a Haswell-like host with the chosen device
+// newTestTarget assembles a Haswell-like host with the chosen device
 // config (kept local to avoid an import cycle with sysconf; the
 // integration tests in internal/report exercise the sysconf builder).
-func buildTarget(t *testing.T, devCfg device.Config, seed int64) *Target {
-	t.Helper()
+// It doubles as the TargetFactory for the parallel-suite tests.
+func newTestTarget(devCfg device.Config, seed int64) (*Target, error) {
 	k := sim.New(seed)
 	ms, err := mem.NewSystem(mem.Config{
 		Nodes:         2,
@@ -27,7 +27,7 @@ func buildTarget(t *testing.T, devCfg device.Config, seed int64) *Target {
 		RemoteLatency: 100 * sim.Nanosecond,
 	})
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	host := hostif.New(ms, nil)
 	complex, err := rc.New(k, rc.Config{
@@ -37,17 +37,27 @@ func buildTarget(t *testing.T, devCfg device.Config, seed int64) *Target {
 		WireDelay:   120 * sim.Nanosecond,
 	}, ms, nil, host)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	eng, err := device.New(k, complex, devCfg)
 	if err != nil {
-		t.Fatal(err)
+		return nil, err
 	}
 	buf, err := host.Alloc(32<<20, 0, hostif.Chunked4M, 0)
 	if err != nil {
+		return nil, err
+	}
+	return &Target{Host: host, Engine: eng, Buffer: buf}, nil
+}
+
+// buildTarget is the fatal-on-error convenience wrapper for tests.
+func buildTarget(t *testing.T, devCfg device.Config, seed int64) *Target {
+	t.Helper()
+	tgt, err := newTestTarget(devCfg, seed)
+	if err != nil {
 		t.Fatal(err)
 	}
-	return &Target{Host: host, Engine: eng, Buffer: buf}
+	return tgt
 }
 
 func TestParamsUnits(t *testing.T) {

@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"pciebench/internal/runner"
 	"pciebench/internal/stats"
 )
 
@@ -44,6 +46,56 @@ func (c SuiteConfig) Count() int {
 		len(c.CacheStates) * len(c.Patterns)
 }
 
+// normalized fills configuration defaults.
+func (c SuiteConfig) normalized() SuiteConfig {
+	if c.Transactions <= 0 {
+		c.Transactions = 300
+	}
+	return c
+}
+
+// Cell is one point of the suite matrix: a benchmark name with its
+// fully expanded parameters. Index is the cell's position in the
+// deterministic benchmark-major enumeration order; it identifies the
+// cell independently of execution order, so per-cell seeds and result
+// slots derive from it.
+type Cell struct {
+	Index  int
+	Bench  string
+	Params Params
+}
+
+// Cells expands the matrix into its deterministic run order
+// (benchmark, transfer, window, cache state, pattern — outermost
+// first).
+func (c SuiteConfig) Cells() []Cell {
+	c = c.normalized()
+	cells := make([]Cell, 0, c.Count())
+	for _, bm := range c.Benchmarks {
+		for _, sz := range c.Transfers {
+			for _, win := range c.Windows {
+				for _, cache := range c.CacheStates {
+					for _, pat := range c.Patterns {
+						cells = append(cells, Cell{
+							Index: len(cells),
+							Bench: bm,
+							Params: Params{
+								WindowSize:   win,
+								TransferSize: sz,
+								Pattern:      pat,
+								Cache:        cache,
+								Transactions: c.Transactions,
+								Direct:       sz <= 128 && strings.HasPrefix(bm, "LAT"),
+							},
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells
+}
+
 // SuiteResult is the outcome of one run in the suite.
 type SuiteResult struct {
 	Bench  string
@@ -55,42 +107,70 @@ type SuiteResult struct {
 	Err     error
 }
 
-// RunSuite executes the matrix against one target. Invalid combinations
-// (window smaller than a unit, window larger than the buffer) are
-// reported as skipped rather than failing the suite. progress, when
-// non-nil, receives (done, total) after every run.
+// RunSuite executes the matrix sequentially against one shared target,
+// cell by cell in Cells order. Invalid combinations (window smaller
+// than a unit, window larger than the buffer) are reported as skipped
+// rather than failing the suite. progress, when non-nil, receives
+// (done, total) after every run.
+//
+// For a multi-worker run use RunSuiteParallel, which builds an
+// independent target per cell.
 func RunSuite(t *Target, cfg SuiteConfig, progress func(done, total int)) ([]SuiteResult, error) {
-	if cfg.Transactions <= 0 {
-		cfg.Transactions = 300
-	}
-	total := cfg.Count()
-	results := make([]SuiteResult, 0, total)
-	done := 0
-	for _, bm := range cfg.Benchmarks {
-		for _, sz := range cfg.Transfers {
-			for _, win := range cfg.Windows {
-				for _, cache := range cfg.CacheStates {
-					for _, pat := range cfg.Patterns {
-						p := Params{
-							WindowSize:   win,
-							TransferSize: sz,
-							Pattern:      pat,
-							Cache:        cache,
-							Transactions: cfg.Transactions,
-							Direct:       sz <= 128 && strings.HasPrefix(bm, "LAT"),
-						}
-						r := runOne(t, bm, p)
-						results = append(results, r)
-						done++
-						if progress != nil {
-							progress(done, total)
-						}
-					}
-				}
-			}
+	cells := cfg.Cells()
+	results := make([]SuiteResult, len(cells))
+	for i, c := range cells {
+		results[i] = runOne(t, c.Bench, c.Params)
+		if progress != nil {
+			progress(i+1, len(cells))
 		}
 	}
 	return results, nil
+}
+
+// TargetFactory builds an independent benchmark target for one suite
+// cell. The seed drives all simulation randomness of that target; the
+// factory must not hand the same simulator instance to two cells, since
+// cells run concurrently.
+type TargetFactory func(seed int64) (*Target, error)
+
+// SuiteOptions tunes a RunSuiteParallel call.
+type SuiteOptions struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Seed is the base seed from which every cell derives its own
+	// deterministic seed (0 uses 1, matching sysconf.Options).
+	Seed int64
+	// Progress, when non-nil, receives (done, total) after every cell;
+	// calls are serialized.
+	Progress func(done, total int)
+}
+
+// RunSuiteParallel executes the matrix across a worker pool. Each cell
+// builds its own target from factory with a seed derived from the base
+// seed and the cell index, so results are byte-identical for every
+// worker count. The result slice is in Cells order. Per-cell benchmark
+// failures are reported in the cell's SuiteResult; a factory error or
+// context cancellation aborts the run.
+//
+// Because every cell starts from a fresh, independently seeded
+// simulator instead of inheriting the RNG state a shared target
+// accumulates, individual cell values differ slightly from a RunSuite
+// pass over the same matrix (including at Workers: 1) — the two
+// entry points are each self-consistent, not interchangeable.
+func RunSuiteParallel(ctx context.Context, factory TargetFactory, cfg SuiteConfig, opt SuiteOptions) ([]SuiteResult, error) {
+	base := opt.Seed
+	if base == 0 {
+		base = 1
+	}
+	return runner.Map(ctx, cfg.Cells(),
+		runner.Options{Workers: opt.Workers, Progress: opt.Progress},
+		func(ctx context.Context, _ int, c Cell) (SuiteResult, error) {
+			t, err := factory(runner.Seed(base, c.Index))
+			if err != nil {
+				return SuiteResult{}, fmt.Errorf("bench: cell %d (%s %s): target: %w", c.Index, c.Bench, c.Params, err)
+			}
+			return runOne(t, c.Bench, c.Params), nil
+		})
 }
 
 func runOne(t *Target, bm string, p Params) SuiteResult {

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -93,6 +95,112 @@ func TestRunSuiteUnknownBench(t *testing.T) {
 	}
 	if results[0].Err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+// parallelSuiteConfig is a small matrix shared by the parallel-suite
+// tests: 24 cells across both benchmark families.
+func parallelSuiteConfig() SuiteConfig {
+	return SuiteConfig{
+		Benchmarks:   []string{"LAT_RD", "BW_RD", "BW_WR"},
+		Transfers:    []int{64, 512},
+		Windows:      []int{8 << 10, 1 << 20},
+		CacheStates:  []CacheState{Cold, HostWarm},
+		Patterns:     []Pattern{Random},
+		Transactions: 100,
+	}
+}
+
+func TestSuiteCellsOrderStable(t *testing.T) {
+	cfg := parallelSuiteConfig()
+	cells := cfg.Cells()
+	if len(cells) != cfg.Count() {
+		t.Fatalf("cells = %d, want %d", len(cells), cfg.Count())
+	}
+	// Regression: RunSuite's result order is exactly the Cells order
+	// (benchmark-major enumeration), and indices are positional.
+	tgt := buildTarget(t, netfpga.Config(), 61)
+	results, err := RunSuite(tgt, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has index %d", i, c.Index)
+		}
+		if results[i].Bench != c.Bench || results[i].Params != c.Params {
+			t.Fatalf("result %d = %s %s, want %s %s",
+				i, results[i].Bench, results[i].Params, c.Bench, c.Params)
+		}
+	}
+	if cells[0].Bench != "LAT_RD" || cells[len(cells)-1].Bench != "BW_WR" {
+		t.Errorf("enumeration not benchmark-major: %s..%s",
+			cells[0].Bench, cells[len(cells)-1].Bench)
+	}
+}
+
+func TestRunSuiteParallelDeterministic(t *testing.T) {
+	cfg := parallelSuiteConfig()
+	factory := func(seed int64) (*Target, error) {
+		return newTestTarget(netfpga.Config(), seed)
+	}
+	run := func(workers int) string {
+		results, err := RunSuiteParallel(context.Background(), factory, cfg,
+			SuiteOptions{Workers: workers, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RenderSuite(results)
+	}
+	want := run(1)
+	for _, workers := range []int{4, 8} {
+		if got := run(workers); got != want {
+			t.Fatalf("workers=%d output differs from workers=1:\n%s\n--- vs ---\n%s",
+				workers, got, want)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(want), "\n")[1:] {
+		if !strings.HasSuffix(line, "ok") {
+			t.Errorf("cell not ok: %s", line)
+		}
+	}
+}
+
+func TestRunSuiteParallelProgressAndErrors(t *testing.T) {
+	cfg := parallelSuiteConfig()
+	factory := func(seed int64) (*Target, error) {
+		return newTestTarget(netfpga.Config(), seed)
+	}
+	var calls int
+	last := 0
+	results, err := RunSuiteParallel(context.Background(), factory, cfg, SuiteOptions{
+		Workers: 4,
+		Progress: func(done, total int) {
+			calls++
+			if total != cfg.Count() || done != last+1 {
+				t.Errorf("progress (%d,%d) after %d", done, total, last)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != cfg.Count() || len(results) != cfg.Count() {
+		t.Errorf("calls = %d, results = %d, want %d", calls, len(results), cfg.Count())
+	}
+
+	// A factory failure aborts the run with an error.
+	bad := func(int64) (*Target, error) { return nil, errors.New("no hardware") }
+	if _, err := RunSuiteParallel(context.Background(), bad, cfg, SuiteOptions{Workers: 2}); err == nil {
+		t.Error("factory error not surfaced")
+	}
+
+	// Cancellation aborts promptly.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSuiteParallel(ctx, factory, cfg, SuiteOptions{Workers: 2}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v", err)
 	}
 }
 

@@ -53,33 +53,56 @@ func AblationGen4(q Quality) (*Figure, error) {
 		XLabel: "Transfer Size (Bytes)",
 		YLabel: "Bandwidth (Gb/s)",
 	}
-	for _, gen := range []pcie.Generation{pcie.Gen3, pcie.Gen4} {
+	gens := []pcie.Generation{pcie.Gen3, pcie.Gen4}
+	sizes := []int{64, 128, 256, 512, 1024, 2048}
+	type cell struct {
+		gen pcie.Generation
+		sz  int
+	}
+	var cells []cell
+	for _, gen := range gens {
+		for _, sz := range sizes {
+			cells = append(cells, cell{gen, sz})
+		}
+	}
+	vals, err := runUnits(cells, func(c cell) (float64, error) {
+		link := pcie.DefaultGen3x8()
+		link.Gen = c.gen
+		sys, err := sysconf.ByName("NFP6000-HSW")
+		if err != nil {
+			return 0, err
+		}
+		inst, err := sys.Build(sysconf.Options{
+			BufferSize: 1 << 20, NoJitter: true, Link: &link, Seed: 61,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := bench.BwRd(inst.Target(), bench.Params{
+			WindowSize: 8 << 10, TransferSize: c.sz,
+			Cache: bench.HostWarm, Transactions: q.bwN(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Gbps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	measOf := make(map[pcie.Generation]*stats.Series)
+	for _, gen := range gens {
 		link := pcie.DefaultGen3x8()
 		link.Gen = gen
 		mdl := &stats.Series{Name: fmt.Sprintf("Model BW (%s)", gen)}
-		meas := &stats.Series{Name: fmt.Sprintf("BW_RD (%s)", gen)}
-		for _, sz := range []int{64, 128, 256, 512, 1024, 2048} {
+		for _, sz := range sizes {
 			mdl.Append(float64(sz), model.EffectiveReadBandwidth(link, sz)/1e9)
-			sys, err := sysconf.ByName("NFP6000-HSW")
-			if err != nil {
-				return nil, err
-			}
-			inst, err := sys.Build(sysconf.Options{
-				BufferSize: 1 << 20, NoJitter: true, Link: &link, Seed: 61,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := bench.BwRd(inst.Target(), bench.Params{
-				WindowSize: 8 << 10, TransferSize: sz,
-				Cache: bench.HostWarm, Transactions: q.bwN(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			meas.Append(float64(sz), res.Gbps)
 		}
-		fig.Series = append(fig.Series, mdl, meas)
+		measOf[gen] = &stats.Series{Name: fmt.Sprintf("BW_RD (%s)", gen)}
+		fig.Series = append(fig.Series, mdl, measOf[gen])
+	}
+	for i, c := range cells {
+		measOf[c.gen].Append(float64(c.sz), vals[i])
 	}
 	return fig, nil
 }
@@ -96,28 +119,35 @@ func AblationWalkers(q Quality) (*Figure, error) {
 		XLabel: "Walkers",
 		YLabel: "Bandwidth (Gb/s)",
 	}
-	s := &stats.Series{Name: "64B BW_RD @16MB window"}
-	for _, walkers := range []int{1, 2, 4, 6, 8, 12} {
+	pool := []int{1, 2, 4, 6, 8, 12}
+	vals, err := runUnits(pool, func(walkers int) (float64, error) {
 		cfg := iommu.DefaultConfig()
 		cfg.Walkers = walkers
 		sys, err := sysconf.ByName("NFP6000-BDW")
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		inst, err := sys.Build(sysconf.Options{
 			NoJitter: true, IOMMU: true, IOMMUConfig: &cfg, Seed: 67,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		res, err := bench.BwRd(inst.Target(), bench.Params{
 			WindowSize: 16 << 20, TransferSize: 64,
 			Cache: bench.HostWarm, Transactions: q.bwN(),
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s.Append(float64(walkers), res.Gbps)
+		return res.Gbps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &stats.Series{Name: "64B BW_RD @16MB window"}
+	for i, walkers := range pool {
+		s.Append(float64(walkers), vals[i])
 	}
 	fig.Series = []*stats.Series{s}
 	return fig, nil
@@ -135,22 +165,22 @@ func AblationInFlight(q Quality) (*Figure, error) {
 		XLabel: "In-flight DMAs",
 		YLabel: "Bandwidth (Gb/s)",
 	}
-	s := &stats.Series{Name: "64B BW_RD"}
-	for _, inflight := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+	limits := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	vals, err := runUnits(limits, func(inflight int) (float64, error) {
 		sys, err := sysconf.ByName("NFP6000-HSW")
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true, Seed: 71})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		// Rebuild the engine with the modified limit.
 		devCfg := inst.Engine.Config()
 		devCfg.MaxInFlight = inflight
 		eng, err := rebuiltEngine(inst, devCfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		tgt := &bench.Target{Host: inst.Host, Engine: eng, Buffer: inst.Buffer}
 		res, err := bench.BwRd(tgt, bench.Params{
@@ -158,9 +188,16 @@ func AblationInFlight(q Quality) (*Figure, error) {
 			Cache: bench.HostWarm, Transactions: q.bwN(),
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		s.Append(float64(inflight), res.Gbps)
+		return res.Gbps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &stats.Series{Name: "64B BW_RD"}
+	for i, inflight := range limits {
+		s.Append(float64(inflight), vals[i])
 	}
 	fig.Series = []*stats.Series{s}
 	return fig, nil

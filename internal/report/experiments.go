@@ -11,6 +11,13 @@ import (
 	"pciebench/internal/sysconf"
 )
 
+// The measured experiments below all follow the same shape: enumerate
+// the sweep's points in their figure order, evaluate every point as an
+// independent runner unit (each builds its own simulator instance, so
+// units share no mutable state), and assemble the series from the
+// order-preserving result slice. That keeps the output byte-identical
+// at any parallelism while the wall clock scales with the worker count.
+
 // Fig1 computes the modeled bidirectional bandwidth of a Gen3 x8 link
 // against the achievable throughput of the paper's NIC/driver designs
 // (§2, Figure 1).
@@ -41,34 +48,49 @@ func Fig1() *Figure {
 }
 
 // Fig2 measures the ExaNIC-style loopback NIC latency and its PCIe
-// share across frame sizes (§2, Figure 2).
+// share across frame sizes (§2, Figure 2). Each frame size is one unit
+// with its own loopback instance.
 func Fig2(q Quality) (*Figure, error) {
-	sys, err := sysconf.ByName("NFP6000-HSW")
-	if err != nil {
-		return nil, err
-	}
-	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
-	if err != nil {
-		return nil, err
-	}
-	inst.Buffer.WarmHost(0, 64<<10) // RX ring is hot in a polling app
-
 	count := 16
 	if q == Full {
 		count = 200
 	}
+	var sizes []int
+	for sz := 64; sz <= 1600; sz += 64 {
+		sizes = append(sizes, sz)
+	}
+	type point struct {
+		ns   float64
+		frac float64
+	}
+	pts, err := runUnits(sizes, func(sz int) (point, error) {
+		sys, err := sysconf.ByName("NFP6000-HSW")
+		if err != nil {
+			return point{}, err
+		}
+		inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+		if err != nil {
+			return point{}, err
+		}
+		inst.Buffer.WarmHost(0, 64<<10) // RX ring is hot in a polling app
+		samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(), inst.Buffer.DMAAddr(0), sz, count)
+		if err != nil {
+			return point{}, err
+		}
+		med, f := nicsim.MedianLoopback(samples)
+		return point{ns: med.Nanoseconds(), frac: f}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	total := &stats.Series{Name: "NIC"}
 	pcieNS := &stats.Series{Name: "PCIe contribution"}
 	frac := &stats.Series{Name: "PCIe fraction"}
-	for sz := 64; sz <= 1600; sz += 64 {
-		samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(), inst.Buffer.DMAAddr(0), sz, count)
-		if err != nil {
-			return nil, err
-		}
-		med, f := nicsim.MedianLoopback(samples)
-		total.Append(float64(sz), med.Nanoseconds())
-		pcieNS.Append(float64(sz), med.Nanoseconds()*f)
-		frac.Append(float64(sz), f)
+	for i, sz := range sizes {
+		x := float64(sz)
+		total.Append(x, pts[i].ns)
+		pcieNS.Append(x, pts[i].ns*pts[i].frac)
+		frac.Append(x, pts[i].frac)
 	}
 	return &Figure{
 		ID:     "fig2",
@@ -108,9 +130,13 @@ func baselineTarget(name string, seed int64) (*bench.Target, error) {
 	return inst.Target(), nil
 }
 
+// baselineSystems are the two devices compared in Figures 4 and 5.
+var baselineSystems = []string{"NFP6000-HSW", "NetFPGA-HSW"}
+
 // Fig4 runs the baseline bandwidth comparison (Figure 4): BW_RD, BW_WR
 // and BW_RDWR for NFP6000-HSW and NetFPGA-HSW against the model, with a
-// warm 8 KB window.
+// warm 8 KB window. Every (benchmark, system, size) point is one unit
+// against a freshly built target.
 func Fig4(q Quality) ([]*Figure, error) {
 	cfg := pcie.DefaultGen3x8()
 	kinds := []struct {
@@ -123,7 +149,38 @@ func Fig4(q Quality) ([]*Figure, error) {
 		{"fig4b", "PCIe Write Bandwidth", bench.BwWr, model.EffectiveWriteBandwidth},
 		{"fig4c", "PCIe Read/Write Bandwidth", bench.BwRdWr, model.EffectiveBidirBandwidth},
 	}
+	type cell struct {
+		kind int
+		sys  string
+		sz   int
+	}
+	var cells []cell
+	for ki := range kinds {
+		for _, sysName := range baselineSystems {
+			for _, sz := range transferSizes() {
+				cells = append(cells, cell{ki, sysName, sz})
+			}
+		}
+	}
+	vals, err := runUnits(cells, func(c cell) (float64, error) {
+		tgt, err := baselineTarget(c.sys, 11)
+		if err != nil {
+			return 0, err
+		}
+		res, err := kinds[c.kind].run(tgt, bench.Params{
+			WindowSize: 8 << 10, TransferSize: c.sz,
+			Cache: bench.HostWarm, Transactions: q.bwN(),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Gbps, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var out []*Figure
+	seriesOf := make(map[string]*stats.Series)
 	for _, kind := range kinds {
 		fig := &Figure{
 			ID:     kind.id,
@@ -138,111 +195,184 @@ func Fig4(q Quality) ([]*Figure, error) {
 			eth.Append(float64(sz), model.EthernetLineRate(40e9, sz)/1e9)
 		}
 		fig.Series = append(fig.Series, mdl, eth)
-		for _, sysName := range []string{"NFP6000-HSW", "NetFPGA-HSW"} {
+		for _, sysName := range baselineSystems {
 			series := &stats.Series{Name: fmt.Sprintf("%s (%s)", kind.id, sysName)}
-			for _, sz := range transferSizes() {
-				tgt, err := baselineTarget(sysName, 11)
-				if err != nil {
-					return nil, err
-				}
-				res, err := kind.run(tgt, bench.Params{
-					WindowSize: 8 << 10, TransferSize: sz,
-					Cache: bench.HostWarm, Transactions: q.bwN(),
-				})
-				if err != nil {
-					return nil, err
-				}
-				series.Append(float64(sz), res.Gbps)
-			}
+			seriesOf[kind.id+"|"+sysName] = series
 			fig.Series = append(fig.Series, series)
 		}
 		out = append(out, fig)
+	}
+	// Assemble from the same cells slice the units ran over, so values
+	// cannot land on the wrong series if the enumeration ever changes.
+	for i, c := range cells {
+		seriesOf[kinds[c.kind].id+"|"+c.sys].Append(float64(c.sz), vals[i])
 	}
 	return out, nil
 }
 
 // Fig5 runs the baseline latency comparison (Figure 5): median LAT_RD
-// and LAT_WRRD for both devices across transfer sizes.
+// and LAT_WRRD for both devices across transfer sizes. One unit per
+// (system, size) pair measures both benchmarks on fresh targets.
 func Fig5(q Quality) (*Figure, error) {
+	type cell struct {
+		sys string
+		sz  int
+	}
+	type point struct{ rd, wr float64 }
+	var cells []cell
+	for _, sysName := range baselineSystems {
+		for _, sz := range latencySizes() {
+			cells = append(cells, cell{sysName, sz})
+		}
+	}
+	pts, err := runUnits(cells, func(c cell) (point, error) {
+		p := bench.Params{
+			WindowSize: 8 << 10, TransferSize: c.sz,
+			Cache: bench.HostWarm, Transactions: q.latN(),
+		}
+		tgt, err := baselineTarget(c.sys, 13)
+		if err != nil {
+			return point{}, err
+		}
+		r1, err := bench.LatRd(tgt, p)
+		if err != nil {
+			return point{}, err
+		}
+		tgt, err = baselineTarget(c.sys, 13)
+		if err != nil {
+			return point{}, err
+		}
+		r2, err := bench.LatWrRd(tgt, p)
+		if err != nil {
+			return point{}, err
+		}
+		return point{rd: r1.Summary.Median, wr: r2.Summary.Median}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure{
 		ID:     "fig5",
 		Title:  "Median DMA latency, NFP6000-HSW vs NetFPGA-HSW",
 		XLabel: "Transfer Size (Bytes)",
 		YLabel: "Latency (ns)",
 	}
-	for _, sysName := range []string{"NFP6000-HSW", "NetFPGA-HSW"} {
-		rd := &stats.Series{Name: "LAT_RD (" + sysName + ")"}
-		wr := &stats.Series{Name: "LAT_WRRD (" + sysName + ")"}
-		for _, sz := range latencySizes() {
-			tgt, err := baselineTarget(sysName, 13)
-			if err != nil {
-				return nil, err
-			}
-			p := bench.Params{
-				WindowSize: 8 << 10, TransferSize: sz,
-				Cache: bench.HostWarm, Transactions: q.latN(),
-			}
-			r1, err := bench.LatRd(tgt, p)
-			if err != nil {
-				return nil, err
-			}
-			rd.Append(float64(sz), r1.Summary.Median)
-			tgt, err = baselineTarget(sysName, 13)
-			if err != nil {
-				return nil, err
-			}
-			r2, err := bench.LatWrRd(tgt, p)
-			if err != nil {
-				return nil, err
-			}
-			wr.Append(float64(sz), r2.Summary.Median)
-		}
-		fig.Series = append(fig.Series, rd, wr)
+	rdOf := make(map[string]*stats.Series)
+	wrOf := make(map[string]*stats.Series)
+	for _, sysName := range baselineSystems {
+		rdOf[sysName] = &stats.Series{Name: "LAT_RD (" + sysName + ")"}
+		wrOf[sysName] = &stats.Series{Name: "LAT_WRRD (" + sysName + ")"}
+		fig.Series = append(fig.Series, rdOf[sysName], wrOf[sysName])
+	}
+	for i, c := range cells {
+		rdOf[c.sys].Append(float64(c.sz), pts[i].rd)
+		wrOf[c.sys].Append(float64(c.sz), pts[i].wr)
 	}
 	return fig, nil
 }
 
 // Fig6 produces the 64 B read-latency CDFs for the Xeon E5 and E3
-// systems (Figure 6), with the jitter models active.
+// systems (Figure 6), with the jitter models active. Each system is one
+// unit.
 func Fig6(q Quality) (*Figure, error) {
-	fig := &Figure{
+	series, err := runUnits([]string{"NFP6000-HSW", "NFP6000-HSW-E3"},
+		func(sysName string) (*stats.Series, error) {
+			sys, err := sysconf.ByName(sysName)
+			if err != nil {
+				return nil, err
+			}
+			inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, Seed: 17})
+			if err != nil {
+				return nil, err
+			}
+			res, err := bench.LatRd(inst.Target(), bench.Params{
+				WindowSize: 8 << 10, TransferSize: 64,
+				Cache: bench.HostWarm, Transactions: q.cdfN(),
+			})
+			if err != nil {
+				return nil, err
+			}
+			cdf, err := res.CDF()
+			if err != nil {
+				return nil, err
+			}
+			s := &stats.Series{Name: sysName}
+			s.X = cdf.Values
+			s.Y = cdf.Cum
+			return s, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure{
 		ID:     "fig6",
 		Title:  "Latency distribution, 64B DMA reads, warm cache",
 		XLabel: "Latency (ns)",
 		YLabel: "CDF",
-	}
-	for _, sysName := range []string{"NFP6000-HSW", "NFP6000-HSW-E3"} {
-		sys, err := sysconf.ByName(sysName)
-		if err != nil {
-			return nil, err
-		}
-		inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, Seed: 17})
-		if err != nil {
-			return nil, err
-		}
-		res, err := bench.LatRd(inst.Target(), bench.Params{
-			WindowSize: 8 << 10, TransferSize: 64,
-			Cache: bench.HostWarm, Transactions: q.cdfN(),
-		})
-		if err != nil {
-			return nil, err
-		}
-		cdf, err := res.CDF()
-		if err != nil {
-			return nil, err
-		}
-		s := &stats.Series{Name: sysName}
-		s.X = cdf.Values
-		s.Y = cdf.Cum
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+		Series: series,
+	}, nil
 }
 
 // Fig7 sweeps the window size to expose LLC and DDIO effects on the
 // NFP6000-SNB system (Figure 7): (a) 8 B latency via the direct command
-// interface, cold vs warm; (b) 64 B bandwidth, cold vs warm.
+// interface, cold vs warm; (b) 64 B bandwidth, cold vs warm. One unit
+// per (cache state, window) runs all four benchmarks against a shared
+// freshly built instance, exactly like the paper's per-point runs.
 func Fig7(q Quality) ([]*Figure, error) {
+	states := []bench.CacheState{bench.Cold, bench.HostWarm}
+	type cell struct {
+		cache bench.CacheState
+		win   int
+	}
+	type point struct{ latRd, latWr, bwRd, bwWr float64 }
+	var cells []cell
+	for _, cache := range states {
+		for _, win := range windowSizes() {
+			cells = append(cells, cell{cache, win})
+		}
+	}
+	pts, err := runUnits(cells, func(c cell) (point, error) {
+		sys, err := sysconf.ByName("NFP6000-SNB")
+		if err != nil {
+			return point{}, err
+		}
+		inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 19})
+		if err != nil {
+			return point{}, err
+		}
+		tgt := inst.Target()
+		pl := bench.Params{
+			WindowSize: c.win, TransferSize: 8, Cache: c.cache,
+			Transactions: q.latN(), Direct: true,
+		}
+		r1, err := bench.LatRd(tgt, pl)
+		if err != nil {
+			return point{}, err
+		}
+		r2, err := bench.LatWrRd(tgt, pl)
+		if err != nil {
+			return point{}, err
+		}
+		pb := bench.Params{
+			WindowSize: c.win, TransferSize: 64, Cache: c.cache,
+			Transactions: q.bwN(),
+		}
+		b1, err := bench.BwRd(tgt, pb)
+		if err != nil {
+			return point{}, err
+		}
+		b2, err := bench.BwWr(tgt, pb)
+		if err != nil {
+			return point{}, err
+		}
+		return point{
+			latRd: r1.Summary.Median, latWr: r2.Summary.Median,
+			bwRd: b1.Gbps, bwWr: b2.Gbps,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	figA := &Figure{
 		ID: "fig7a", Title: "Cache effects on latency (NFP6000-SNB)",
 		XLabel: "Window size (Bytes)", YLabel: "Latency (ns)",
@@ -251,146 +381,114 @@ func Fig7(q Quality) ([]*Figure, error) {
 		ID: "fig7b", Title: "Cache effects on bandwidth (NFP6000-SNB)",
 		XLabel: "Window size (Bytes)", YLabel: "Bandwidth (Gb/s)",
 	}
-	states := []bench.CacheState{bench.Cold, bench.HostWarm}
+	type group struct{ latRd, latWr, bwRd, bwWr *stats.Series }
+	groups := make(map[bench.CacheState]group)
 	for _, cache := range states {
-		latRd := &stats.Series{Name: fmt.Sprintf("8B LAT_RD (%s)", cache)}
-		latWr := &stats.Series{Name: fmt.Sprintf("8B LAT_WRRD (%s)", cache)}
-		bwRd := &stats.Series{Name: fmt.Sprintf("64B BW_RD (%s)", cache)}
-		bwWr := &stats.Series{Name: fmt.Sprintf("64B BW_WR (%s)", cache)}
-		for _, win := range windowSizes() {
-			sys, err := sysconf.ByName("NFP6000-SNB")
-			if err != nil {
-				return nil, err
-			}
-			inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 19})
-			if err != nil {
-				return nil, err
-			}
-			tgt := inst.Target()
-			pl := bench.Params{
-				WindowSize: win, TransferSize: 8, Cache: cache,
-				Transactions: q.latN(), Direct: true,
-			}
-			r1, err := bench.LatRd(tgt, pl)
-			if err != nil {
-				return nil, err
-			}
-			latRd.Append(float64(win), r1.Summary.Median)
-			r2, err := bench.LatWrRd(tgt, pl)
-			if err != nil {
-				return nil, err
-			}
-			latWr.Append(float64(win), r2.Summary.Median)
-
-			pb := bench.Params{
-				WindowSize: win, TransferSize: 64, Cache: cache,
-				Transactions: q.bwN(),
-			}
-			b1, err := bench.BwRd(tgt, pb)
-			if err != nil {
-				return nil, err
-			}
-			bwRd.Append(float64(win), b1.Gbps)
-			b2, err := bench.BwWr(tgt, pb)
-			if err != nil {
-				return nil, err
-			}
-			bwWr.Append(float64(win), b2.Gbps)
+		g := group{
+			latRd: &stats.Series{Name: fmt.Sprintf("8B LAT_RD (%s)", cache)},
+			latWr: &stats.Series{Name: fmt.Sprintf("8B LAT_WRRD (%s)", cache)},
+			bwRd:  &stats.Series{Name: fmt.Sprintf("64B BW_RD (%s)", cache)},
+			bwWr:  &stats.Series{Name: fmt.Sprintf("64B BW_WR (%s)", cache)},
 		}
-		figA.Series = append(figA.Series, latRd, latWr)
-		figB.Series = append(figB.Series, bwRd, bwWr)
+		groups[cache] = g
+		figA.Series = append(figA.Series, g.latRd, g.latWr)
+		figB.Series = append(figB.Series, g.bwRd, g.bwWr)
+	}
+	for i, c := range cells {
+		g := groups[c.cache]
+		x := float64(c.win)
+		g.latRd.Append(x, pts[i].latRd)
+		g.latWr.Append(x, pts[i].latWr)
+		g.bwRd.Append(x, pts[i].bwRd)
+		g.bwWr.Append(x, pts[i].bwWr)
 	}
 	return []*Figure{figA, figB}, nil
 }
 
-// Fig8 measures the NUMA penalty on NFP6000-BDW (Figure 8): percentage
-// change of warm-cache BW_RD between a node-local and a remote buffer,
-// for several transfer sizes across window sizes.
-func Fig8(q Quality) (*Figure, error) {
+// bwDeltaFigure is the shared shape of Figures 8 and 9: for several
+// transfer sizes across window sizes, measure warm-cache BW_RD on
+// NFP6000-BDW under a baseline (toggle=false) and a perturbed
+// (toggle=true) build of the system, and report the percentage change.
+// One unit per (size, window) measures both settings.
+func bwDeltaFigure(q Quality, id, title string, build func(toggle bool) sysconf.Options) (*Figure, error) {
+	sizes := []int{64, 128, 256, 512}
+	type cell struct{ sz, win int }
+	var cells []cell
+	for _, sz := range sizes {
+		for _, win := range windowSizes() {
+			cells = append(cells, cell{sz, win})
+		}
+	}
+	pcts, err := runUnits(cells, func(c cell) (float64, error) {
+		run := func(toggle bool) (float64, error) {
+			sys, err := sysconf.ByName("NFP6000-BDW")
+			if err != nil {
+				return 0, err
+			}
+			inst, err := sys.Build(build(toggle))
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.BwRd(inst.Target(), bench.Params{
+				WindowSize: c.win, TransferSize: c.sz,
+				Cache: bench.HostWarm, Transactions: q.bwN(),
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Gbps, nil
+		}
+		base, err := run(false)
+		if err != nil {
+			return 0, err
+		}
+		perturbed, err := run(true)
+		if err != nil {
+			return 0, err
+		}
+		return 100 * (perturbed - base) / base, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	fig := &Figure{
-		ID: "fig8", Title: "Local vs remote DMA reads, warm cache (NFP6000-BDW)",
+		ID: id, Title: title,
 		XLabel: "Window size (Bytes)", YLabel: "% change of bandwidth",
 	}
-	for _, sz := range []int{64, 128, 256, 512} {
-		s := &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
-		for _, win := range windowSizes() {
-			run := func(node int) (float64, error) {
-				sys, err := sysconf.ByName("NFP6000-BDW")
-				if err != nil {
-					return 0, err
-				}
-				inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 23, BufferNode: node})
-				if err != nil {
-					return 0, err
-				}
-				res, err := bench.BwRd(inst.Target(), bench.Params{
-					WindowSize: win, TransferSize: sz,
-					Cache: bench.HostWarm, Transactions: q.bwN(),
-				})
-				if err != nil {
-					return 0, err
-				}
-				return res.Gbps, nil
-			}
-			local, err := run(0)
-			if err != nil {
-				return nil, err
-			}
-			remote, err := run(1)
-			if err != nil {
-				return nil, err
-			}
-			s.Append(float64(win), 100*(remote-local)/local)
-		}
-		fig.Series = append(fig.Series, s)
+	seriesOf := make(map[int]*stats.Series)
+	for _, sz := range sizes {
+		seriesOf[sz] = &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
+		fig.Series = append(fig.Series, seriesOf[sz])
+	}
+	for i, c := range cells {
+		seriesOf[c.sz].Append(float64(c.win), pcts[i])
 	}
 	return fig, nil
 }
 
+// Fig8 measures the NUMA penalty on NFP6000-BDW (Figure 8): percentage
+// change of warm-cache BW_RD between a node-local and a remote buffer.
+func Fig8(q Quality) (*Figure, error) {
+	return bwDeltaFigure(q, "fig8",
+		"Local vs remote DMA reads, warm cache (NFP6000-BDW)",
+		func(remote bool) sysconf.Options {
+			node := 0
+			if remote {
+				node = 1
+			}
+			return sysconf.Options{NoJitter: true, Seed: 23, BufferNode: node}
+		})
+}
+
 // Fig9 measures the IOMMU impact on NFP6000-BDW (Figure 9): percentage
 // change of warm-cache BW_RD with the IOMMU enabled (4 KB mappings,
-// sp_off) relative to disabled, across window sizes.
+// sp_off) relative to disabled.
 func Fig9(q Quality) (*Figure, error) {
-	fig := &Figure{
-		ID: "fig9", Title: "IOMMU impact on DMA reads, warm cache (NFP6000-BDW)",
-		XLabel: "Window size (Bytes)", YLabel: "% change of bandwidth",
-	}
-	for _, sz := range []int{64, 128, 256, 512} {
-		s := &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
-		for _, win := range windowSizes() {
-			run := func(iommuOn bool) (float64, error) {
-				sys, err := sysconf.ByName("NFP6000-BDW")
-				if err != nil {
-					return 0, err
-				}
-				inst, err := sys.Build(sysconf.Options{
-					NoJitter: true, Seed: 29, IOMMU: iommuOn, SuperPages: false,
-				})
-				if err != nil {
-					return 0, err
-				}
-				res, err := bench.BwRd(inst.Target(), bench.Params{
-					WindowSize: win, TransferSize: sz,
-					Cache: bench.HostWarm, Transactions: q.bwN(),
-				})
-				if err != nil {
-					return 0, err
-				}
-				return res.Gbps, nil
-			}
-			off, err := run(false)
-			if err != nil {
-				return nil, err
-			}
-			on, err := run(true)
-			if err != nil {
-				return nil, err
-			}
-			s.Append(float64(win), 100*(on-off)/off)
-		}
-		fig.Series = append(fig.Series, s)
-	}
-	return fig, nil
+	return bwDeltaFigure(q, "fig9",
+		"IOMMU impact on DMA reads, warm cache (NFP6000-BDW)",
+		func(iommuOn bool) sysconf.Options {
+			return sysconf.Options{NoJitter: true, Seed: 29, IOMMU: iommuOn, SuperPages: false}
+		})
 }
 
 // Table2 derives the paper's notable-findings table from fresh
@@ -416,33 +514,31 @@ func Table2(q Quality) (*Table, error) {
 		"Co-locate I/O buffers into superpages.",
 	})
 
-	// DDIO: warm descriptor-sized accesses are faster.
-	sys, err := sysconf.ByName("NFP6000-SNB")
-	if err != nil {
-		return nil, err
-	}
-	run := func(cache bench.CacheState, win int) (float64, error) {
-		inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 31})
-		if err != nil {
-			return 0, err
-		}
-		res, err := bench.LatRd(inst.Target(), bench.Params{
-			WindowSize: win, TransferSize: 8, Cache: cache,
-			Transactions: q.latN(), Direct: true,
+	// DDIO: warm descriptor-sized accesses are faster. The two cache
+	// states are independent units.
+	medians, err := runUnits([]bench.CacheState{bench.HostWarm, bench.Cold},
+		func(cache bench.CacheState) (float64, error) {
+			sys, err := sysconf.ByName("NFP6000-SNB")
+			if err != nil {
+				return 0, err
+			}
+			inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 31})
+			if err != nil {
+				return 0, err
+			}
+			res, err := bench.LatRd(inst.Target(), bench.Params{
+				WindowSize: 64 << 10, TransferSize: 8, Cache: cache,
+				Transactions: q.latN(), Direct: true,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return res.Summary.Median, nil
 		})
-		if err != nil {
-			return 0, err
-		}
-		return res.Summary.Median, nil
-	}
-	warm, err := run(bench.HostWarm, 64<<10)
 	if err != nil {
 		return nil, err
 	}
-	cold, err := run(bench.Cold, 64<<10)
-	if err != nil {
-		return nil, err
-	}
+	warm, cold := medians[0], medians[1]
 	t.Rows = append(t.Rows, []string{
 		"DDIO (Fig 7)",
 		fmt.Sprintf("small reads %.0fns faster when cache resident (%.0f vs %.0f)", cold-warm, warm, cold),

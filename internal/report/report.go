@@ -10,11 +10,48 @@
 package report
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"strings"
+	"sync/atomic"
 
+	"pciebench/internal/runner"
 	"pciebench/internal/stats"
 )
+
+// parallelism is the worker count for the package's experiment sweeps;
+// 0 selects GOMAXPROCS. Every experiment point builds its own simulator
+// instance and results are collected in submission order, so figure and
+// table output is byte-identical for any setting.
+var parallelism atomic.Int64
+
+// SetParallelism sets the worker count used by all experiment sweeps
+// (n <= 0 restores the GOMAXPROCS default).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism returns the effective sweep worker count.
+func Parallelism() int {
+	if n := parallelism.Load(); n > 0 {
+		return int(n)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runUnits evaluates fn over items on the report worker pool, returning
+// the outputs in item order. Each call is one parameter sweep: items
+// are the sweep points, fn builds whatever simulator state the point
+// needs and measures it.
+func runUnits[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
+	return runner.Map(context.Background(), items,
+		runner.Options{Workers: Parallelism()},
+		func(_ context.Context, _ int, item T) (R, error) { return fn(item) })
+}
 
 // Quality scales experiment sizes: Quick keeps test runs fast, Full
 // approaches the paper's sample counts (the paper journals 2M latency

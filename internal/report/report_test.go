@@ -5,6 +5,39 @@ import (
 	"testing"
 )
 
+// skipInShort skips the heavyweight experiment sweeps under
+// `go test -short` so a short run finishes in seconds; CI runs both
+// modes. The gated tests all use the Quick quality knob already — what
+// remains slow is the breadth of their parameter grids.
+func skipInShort(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("slow experiment sweep; run without -short")
+	}
+}
+
+// TestParallelDeterminism asserts the runner contract at the report
+// layer: the rendered output of a sweep is byte-identical for every
+// worker count.
+func TestParallelDeterminism(t *testing.T) {
+	defer SetParallelism(0)
+	render := func(workers int) string {
+		SetParallelism(workers)
+		fig, err := Fig5(Quick)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig.TSV()
+	}
+	want := render(1)
+	for _, workers := range []int{4, 8} {
+		if got := render(workers); got != want {
+			t.Fatalf("workers=%d output differs from workers=1:\n%s\n--- vs ---\n%s",
+				workers, got, want)
+		}
+	}
+}
+
 func TestTableRender(t *testing.T) {
 	tbl := &Table{
 		Title:   "demo",
@@ -233,6 +266,7 @@ func inverseAt(xs, cum []float64, p float64) float64 {
 }
 
 func TestFig7Shapes(t *testing.T) {
+	skipInShort(t)
 	figs, err := Fig7(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -290,6 +324,7 @@ func TestFig7Shapes(t *testing.T) {
 }
 
 func TestFig8Shapes(t *testing.T) {
+	skipInShort(t)
 	fig, err := Fig8(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -328,6 +363,7 @@ func TestFig8Shapes(t *testing.T) {
 }
 
 func TestFig9Shapes(t *testing.T) {
+	skipInShort(t)
 	fig, err := Fig9(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -368,6 +404,7 @@ func TestFig9Shapes(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Table2(Quick)
 	if err != nil {
 		t.Fatal(err)
@@ -384,6 +421,7 @@ func TestTable2(t *testing.T) {
 }
 
 func TestExpectationsAllPass(t *testing.T) {
+	skipInShort(t)
 	tbl, err := Expectations(Quick)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,235 @@
+// Package runner schedules independent experiment units across a
+// bounded worker pool.
+//
+// The paper's evaluation is a large grid of independent points —
+// figures 1-9 and the tables sweep transfer size, window size, cache
+// state, DDIO, IOMMU and NUMA settings — and every point builds its own
+// simulator instance, so the grid parallelizes trivially. The runner
+// exploits that while keeping results reproducible: units are executed
+// in any order across workers, but results are collected by submission
+// index, so the assembled output is byte-identical regardless of the
+// worker count. Deterministic per-unit seeds (Seed) decouple a unit's
+// randomness from scheduling order.
+//
+// A panicking unit does not take the pool down: the panic is captured
+// as a *PanicError in that unit's Result. Cancellation via the context
+// stops unstarted units promptly; already-running units finish their
+// current work.
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// Unit is one independent piece of work: typically a single experiment
+// point that builds its own simulator instance and measures it.
+type Unit struct {
+	// Name labels the unit in errors and progress reporting.
+	Name string
+	// Run performs the work. It must not share mutable state with other
+	// units; each unit builds or clones what it needs.
+	Run func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one unit, tagged with its submission index.
+type Result struct {
+	Index int
+	Name  string
+	Value any
+	Err   error
+}
+
+// PanicError wraps a panic recovered inside a worker so one bad unit
+// cannot take down the whole run.
+type PanicError struct {
+	Unit  string
+	Value any
+	Stack []byte
+}
+
+// Error formats the captured panic.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: unit %q panicked: %v", e.Unit, e.Value)
+}
+
+// Options tunes a Run call.
+type Options struct {
+	// Workers is the pool size; <= 0 selects GOMAXPROCS. The pool never
+	// exceeds the unit count.
+	Workers int
+	// Progress, when non-nil, receives (done, total) after every unit
+	// finishes. Calls are serialized and done is strictly increasing, so
+	// the callback needs no locking of its own.
+	Progress func(done, total int)
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes units on the pool and returns one Result per unit, in
+// submission order. Unit-level failures are reported per Result; the
+// returned error is non-nil only when ctx was cancelled, in which case
+// unstarted units carry the context error in their Result.
+func Run(ctx context.Context, units []Unit, opt Options) ([]Result, error) {
+	results := make([]Result, len(units))
+	if len(units) == 0 {
+		return results, ctx.Err()
+	}
+
+	idx := make(chan int, len(units))
+	for i := range units {
+		idx <- i
+	}
+	close(idx)
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		done int
+	)
+	total := len(units)
+	finish := func() {
+		if opt.Progress == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		done++
+		opt.Progress(done, total)
+	}
+
+	for w := opt.workers(len(units)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				u := units[i]
+				if err := ctx.Err(); err != nil {
+					// Skipped by cancellation: recorded, but not
+					// reported as progress — the unit never ran.
+					results[i] = Result{Index: i, Name: u.Name, Err: err}
+					continue
+				}
+				v, err := runUnit(ctx, u)
+				results[i] = Result{Index: i, Name: u.Name, Value: v, Err: err}
+				finish()
+			}
+		}()
+	}
+	wg.Wait()
+	return results, ctx.Err()
+}
+
+// runUnit executes one unit, converting a panic into a *PanicError.
+func runUnit(ctx context.Context, u Unit) (v any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Unit: u.Name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return u.Run(ctx)
+}
+
+// Map runs fn over items on the pool and returns the outputs in item
+// order. It fails fast: the first unit error or panic cancels the
+// remaining unstarted units. Among the errors recorded by units that
+// actually executed, the one most likely to explain the failure is
+// returned: the lowest-index error unrelated to context.Canceled,
+// else the lowest-index error that wraps it, else the bare sentinel —
+// so a genuine failure is never shadowed by units that merely echoed
+// the induced cancellation. On success the output slice is identical
+// for every worker count.
+func Map[T, R any](ctx context.Context, items []T, opt Options, fn func(ctx context.Context, index int, item T) (R, error)) ([]R, error) {
+	out := make([]R, len(items))
+	if len(items) == 0 {
+		return out, ctx.Err()
+	}
+	mctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// errs[i] is written only by the unit that executed item i; units
+	// skipped by the fail-fast cancellation never touch it.
+	errs := make([]error, len(items))
+	units := make([]Unit, len(items))
+	for i := range items {
+		i, item := i, items[i]
+		name := fmt.Sprintf("unit-%d", i)
+		units[i] = Unit{
+			Name: name,
+			Run: func(ctx context.Context) (_ any, err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = &PanicError{Unit: name, Value: r, Stack: debug.Stack()}
+					}
+					if err != nil {
+						errs[i] = err
+						cancel()
+					}
+				}()
+				v, err := fn(ctx, i, item)
+				if err != nil {
+					return nil, err
+				}
+				out[i] = v
+				return nil, nil
+			},
+		}
+	}
+	if _, err := Run(mctx, units, opt); err != nil && ctx.Err() != nil {
+		return out, ctx.Err()
+	}
+	// Return the error that explains the failure, not its echo: a unit
+	// that merely respected the induced cancellation records the bare
+	// context.Canceled sentinel, which must not shadow the genuine
+	// failure that triggered it at a higher index.
+	var firstAny, firstWrapped error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstAny == nil {
+			firstAny = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			return out, err
+		}
+		if firstWrapped == nil && err != context.Canceled {
+			firstWrapped = err
+		}
+	}
+	if firstWrapped != nil {
+		return out, firstWrapped
+	}
+	return out, firstAny
+}
+
+// Seed derives a deterministic, well-mixed per-unit seed from a base
+// seed and the unit's submission index (a splitmix64 round). Sequential
+// base seeds or indices yield decorrelated streams, and the result is
+// never zero, so it can feed APIs where zero selects a default.
+func Seed(base int64, index int) int64 {
+	z := uint64(base) + (uint64(index)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9E3779B97F4A7C15
+	}
+	return int64(z)
+}

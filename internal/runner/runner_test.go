@@ -1,0 +1,260 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		units := make([]Unit, 20)
+		for i := range units {
+			i := i
+			units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func(context.Context) (any, error) {
+				return i * i, nil
+			}}
+		}
+		results, err := Run(context.Background(), units, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(units) {
+			t.Fatalf("workers=%d: %d results", workers, len(results))
+		}
+		for i, r := range results {
+			if r.Index != i || r.Name != fmt.Sprintf("u%d", i) || r.Value != i*i || r.Err != nil {
+				t.Fatalf("workers=%d: result %d = %+v", workers, i, r)
+			}
+		}
+	}
+}
+
+func TestMapDeterministicAcrossWorkerCounts(t *testing.T) {
+	items := make([]int, 64)
+	for i := range items {
+		items[i] = i
+	}
+	// Each unit derives its value from a per-unit seed only, never from
+	// execution order; every worker count must assemble the same slice.
+	run := func(workers int) []int64 {
+		out, err := Map(context.Background(), items, Options{Workers: workers},
+			func(_ context.Context, i int, item int) (int64, error) {
+				return Seed(42, i) ^ int64(item), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		got := run(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunPanicIsolation(t *testing.T) {
+	units := []Unit{
+		{Name: "ok1", Run: func(context.Context) (any, error) { return 1, nil }},
+		{Name: "boom", Run: func(context.Context) (any, error) { panic("kaput") }},
+		{Name: "ok2", Run: func(context.Context) (any, error) { return 2, nil }},
+	}
+	results, err := Run(context.Background(), units, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Error("healthy units affected by a sibling panic")
+	}
+	var pe *PanicError
+	if !errors.As(results[1].Err, &pe) {
+		t.Fatalf("panic not captured: %v", results[1].Err)
+	}
+	if pe.Unit != "boom" || pe.Value != "kaput" || len(pe.Stack) == 0 {
+		t.Errorf("panic error = %+v", pe)
+	}
+}
+
+func TestRunCancellationMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	units := make([]Unit, 50)
+	var executed atomic.Int32
+	for i := range units {
+		i := i
+		units[i] = Unit{Name: fmt.Sprintf("u%d", i), Run: func(context.Context) (any, error) {
+			if i == 3 {
+				cancel() // a unit pulls the plug mid-run
+			}
+			executed.Add(1)
+			return i, nil
+		}}
+	}
+	var progressed int
+	results, err := Run(ctx, units, Options{Workers: 1,
+		Progress: func(done, total int) { progressed = done }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := executed.Load(); n < 4 || n >= 50 {
+		t.Errorf("executed %d units, want a partial run", n)
+	}
+	// Units skipped by the cancellation must not be reported as done.
+	if int32(progressed) != executed.Load() {
+		t.Errorf("progress reported %d done, but only %d executed", progressed, executed.Load())
+	}
+	var cancelled int
+	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			cancelled++
+		}
+	}
+	if cancelled == 0 {
+		t.Error("no unit carries the cancellation error")
+	}
+}
+
+func TestMapFailFast(t *testing.T) {
+	boom := errors.New("boom")
+	items := make([]int, 32)
+	var executed atomic.Int32
+	_, err := Map(context.Background(), items, Options{Workers: 2},
+		func(_ context.Context, i int, _ int) (int, error) {
+			executed.Add(1)
+			if i == 5 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the unit error", err)
+	}
+}
+
+func TestMapFailFastOnPanic(t *testing.T) {
+	items := make([]int, 40)
+	var executed atomic.Int32
+	_, err := Map(context.Background(), items, Options{Workers: 1},
+		func(_ context.Context, i int, _ int) (int, error) {
+			executed.Add(1)
+			if i == 2 {
+				panic("kaput")
+			}
+			return i, nil
+		})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaput" {
+		t.Fatalf("err = %v, want the PanicError", err)
+	}
+	// The panic cancels the remaining units; with one worker nothing
+	// after the panicking unit runs.
+	if n := executed.Load(); n != 3 {
+		t.Errorf("executed %d units after the panic, want 3", n)
+	}
+}
+
+func TestMapSurfacesErrorWrappingCanceled(t *testing.T) {
+	// A unit whose genuine failure wraps context.Canceled must not be
+	// mistaken for the induced fail-fast cancellation.
+	items := make([]int, 8)
+	wrapped := fmt.Errorf("backend gave up: %w", context.Canceled)
+	_, err := Map(context.Background(), items, Options{Workers: 2},
+		func(_ context.Context, i int, _ int) (int, error) {
+			if i == 4 {
+				return 0, wrapped
+			}
+			return i, nil
+		})
+	if !errors.Is(err, wrapped) && err != wrapped {
+		t.Fatalf("err = %v, want the wrapped unit error", err)
+	}
+}
+
+func TestMapPrefersRealErrorOverInducedCancel(t *testing.T) {
+	// Unit 0 respects the context and reports the induced cancellation;
+	// unit 1 is the genuine failure that triggered it. Map must return
+	// the real error even though the echo sits at a lower index.
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), []int{0, 1}, Options{Workers: 2},
+		func(ctx context.Context, i int, _ int) (int, error) {
+			if i == 0 {
+				<-ctx.Done()
+				return 0, ctx.Err()
+			}
+			return 0, boom
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the real error", err)
+	}
+}
+
+func TestRunProgressAggregation(t *testing.T) {
+	units := make([]Unit, 30)
+	for i := range units {
+		units[i] = Unit{Run: func(context.Context) (any, error) { return nil, nil }}
+	}
+	var calls int
+	last := 0
+	_, err := Run(context.Background(), units, Options{
+		Workers: 4,
+		Progress: func(done, total int) {
+			calls++
+			if total != len(units) {
+				t.Errorf("total = %d, want %d", total, len(units))
+			}
+			if done != last+1 {
+				t.Errorf("done = %d after %d, not monotonic", done, last)
+			}
+			last = done
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != len(units) {
+		t.Errorf("progress calls = %d, want %d", calls, len(units))
+	}
+}
+
+func TestSeed(t *testing.T) {
+	if Seed(1, 0) == Seed(1, 1) || Seed(1, 0) == Seed(2, 0) {
+		t.Error("seeds collide across index/base")
+	}
+	if Seed(7, 3) != Seed(7, 3) {
+		t.Error("seed not deterministic")
+	}
+	seen := map[int64]bool{}
+	for i := 0; i < 10000; i++ {
+		s := Seed(1, i)
+		if s == 0 {
+			t.Fatal("zero seed")
+		}
+		if seen[s] {
+			t.Fatalf("seed collision at index %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunEmptyAndDefaults(t *testing.T) {
+	results, err := Run(context.Background(), nil, Options{})
+	if err != nil || len(results) != 0 {
+		t.Fatalf("empty run: %v %v", results, err)
+	}
+	// Workers <= 0 falls back to GOMAXPROCS and still completes.
+	out, err := Map(context.Background(), []int{1, 2, 3}, Options{Workers: -1},
+		func(_ context.Context, _ int, v int) (int, error) { return v * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 10 || out[2] != 30 {
+		t.Errorf("out = %v", out)
+	}
+}
