@@ -39,10 +39,20 @@ vet:
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
+# BENCH_N tags the machine-readable benchmark report with the PR
+# sequence number (commit count by default) so BENCH_<n>.json files
+# track the perf trajectory across PRs.
+BENCH_N ?= $(shell git rev-list --count HEAD 2>/dev/null || echo 0)
+
 # One iteration of every benchmark: cheap CI smoke that the bench
-# harness still runs end to end.
+# harness still runs end to end. Also writes BENCH_$(BENCH_N).json with
+# the per-benchmark medians/bandwidths via cmd/benchjson.
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	@$(GO) test -bench=. -benchtime=1x -run '^$$' . > bench-smoke.out || (cat bench-smoke.out; rm -f bench-smoke.out; exit 1)
+	@cat bench-smoke.out
+	@$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json < bench-smoke.out
+	@rm -f bench-smoke.out
+	@echo "wrote BENCH_$(BENCH_N).json"
 
 clean:
 	rm -rf repro-out

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pciebench
+BenchmarkFig1_NICModels-8   	      12	  95227452 ns/op	        50.63 Gb/s@1520
+BenchmarkFig4a_ReadBandwidth-8	       1	  57997838 ns/op	        29.88 Gb/s	 1024 B/op	      10 allocs/op
+BenchmarkFig5_LatencyVsSize   	       1	 123456789 ns/op	       547.0 ns@64B	      1501.0 ns@2048B
+PASS
+ok  	pciebench	2.772s
+`
+
+func TestParse(t *testing.T) {
+	report, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks", len(report.Benchmarks))
+	}
+	b := report.Benchmarks[0]
+	if b.Name != "Fig1_NICModels" || b.Iterations != 12 || b.NsPerOp != 95227452 {
+		t.Errorf("first = %+v", b)
+	}
+	if b.Metrics["Gb/s@1520"] != 50.63 {
+		t.Errorf("metric = %v", b.Metrics)
+	}
+	// The -P suffix strips only when numeric; plain names survive.
+	if report.Benchmarks[2].Name != "Fig5_LatencyVsSize" {
+		t.Errorf("third name = %q", report.Benchmarks[2].Name)
+	}
+	if report.Benchmarks[2].Metrics["ns@64B"] != 547 {
+		t.Errorf("third metrics = %v", report.Benchmarks[2].Metrics)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var report Report
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("output not JSON: %v", err)
+	}
+	if len(report.Benchmarks) != 3 {
+		t.Errorf("round-tripped %d benchmarks", len(report.Benchmarks))
+	}
+}
+
+func TestRunNoBenchmarks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("PASS\n"), &out); err == nil {
+		t.Error("empty input accepted")
+	}
+}

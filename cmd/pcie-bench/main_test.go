@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command as the shell would and captures stdout.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestListSystems(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"NFP6000-HSW", "NetFPGA-HSW", "NFP6000-BDW"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestListSweeps(t *testing.T) {
+	out, err := runCLI(t, "-sweeps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig4", "fig9", "cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-sweeps missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleBenchJSON(t *testing.T) {
+	out, err := runCLI(t, "-bench", "bw_rd", "-n", "500", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json output not JSON: %v\n%s", err, out)
+	}
+	if res.Bench != "bw_rd" || res.System != "NFP6000-HSW" || res.Gbps <= 0 {
+		t.Errorf("result = %+v", res)
+	}
+
+	out, err = runCLI(t, "-bench", "lat_rd", "-n", "200", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("latency -json output not JSON: %v\n%s", err, out)
+	}
+	if res.Latency == nil || res.Latency.Median <= 0 {
+		t.Errorf("latency result = %+v", res)
+	}
+}
+
+func TestSingleBenchText(t *testing.T) {
+	out, err := runCLI(t, "-bench", "lat_wrrd", "-n", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "LAT_WRRD") || !strings.Contains(out, "med=") {
+		t.Errorf("text output:\n%s", out)
+	}
+}
+
+func TestRunRegisteredSweep(t *testing.T) {
+	out, err := runCLI(t, "-run", "table2-ddio", "-format", "tsv", "n=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "warm") || !strings.Contains(out, "cold") {
+		t.Errorf("-run output:\n%s", out)
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{
+		"name": "bench-cli-test",
+		"axes": [{"name": "transfer", "values": ["8"]}],
+		"base": {"system": "NFP6000-HSW", "bench": "lat_rd",
+		         "window": "4K", "buffer": "64K", "nojitter": "true", "n": "40"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "-spec", good); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCLI(t, "-spec", filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+func TestBadArguments(t *testing.T) {
+	cases := [][]string{
+		{"-bogus-flag"},
+		{"-bench", "bw_up", "-n", "10"},
+		{"-pattern", "zigzag"},
+		{"-cache", "lukewarm"},
+		{"-window", "huge"},
+		{"-system", "PDP-11"},
+		{"-run", "no-such-sweep"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

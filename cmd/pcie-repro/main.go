@@ -3,12 +3,16 @@
 // and 2. TSV series suitable for gnuplot are written to the output
 // directory; tables and a paper-versus-measured summary go to stdout.
 //
-// Usage:
+// Every measured experiment is a declarative sweep (internal/sweep),
+// so the same grids — and entirely new ones — also run standalone:
 //
-//	pcie-repro                 # quick run into ./repro-out
-//	pcie-repro -full -out dir  # paper-scale sample counts
-//	pcie-repro -only fig9      # a single experiment
-//	pcie-repro -parallel 8     # sweep worker count (default GOMAXPROCS)
+//	pcie-repro                      # quick run into ./repro-out
+//	pcie-repro -full -out dir       # paper-scale sample counts
+//	pcie-repro -only fig9           # a single experiment
+//	pcie-repro -parallel 8          # sweep worker count (default GOMAXPROCS)
+//	pcie-repro -list                # registered sweeps
+//	pcie-repro -run fig4 gen=4,5    # a registered sweep with axis overrides
+//	pcie-repro -spec my.json -format csv  # a fully custom grid from JSON
 //
 // Experiment points run on the internal/runner worker pool; results are
 // collected in submission order, so the generated files are
@@ -16,32 +20,85 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
 	"pciebench/internal/report"
+	"pciebench/internal/sweep"
 )
 
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcie-repro:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, dispatches to the
+// sweep CLI surface (-list/-run/-spec) or regenerates the paper
+// artifacts, and writes human output to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcie-repro", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out      = flag.String("out", "repro-out", "output directory for TSV series")
-		full     = flag.Bool("full", false, "paper-scale sample counts (slower)")
-		only     = flag.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
-		parallel = flag.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS); output is identical for any value")
+		out      = fs.String("out", "repro-out", "output directory for TSV series")
+		full     = fs.Bool("full", false, "paper-scale sample counts (slower)")
+		only     = fs.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
+		parallel = fs.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS); output is identical for any value")
+		list     = fs.Bool("list", false, "list registered sweeps and exit")
+		runName  = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
+		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
+		format   = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	q := report.Quick
 	if *full {
 		q = report.Full
 	}
 	report.SetParallelism(*parallel)
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fatal(err)
+
+	opt := sweep.RunOptions{Workers: *parallel, Quality: q}
+	switch {
+	case *list:
+		sweep.ListSpecs(stdout)
+		return nil
+	case *runName != "":
+		spec, err := sweep.ByName(*runName)
+		if err != nil {
+			return err
+		}
+		return sweep.RunAndEmit(context.Background(), spec, fs.Args(), *format, opt, stdout, stderr)
+	case *specPath != "":
+		spec, err := sweep.LoadSpecFile(*specPath)
+		if err != nil {
+			return err
+		}
+		return sweep.RunAndEmit(context.Background(), spec, fs.Args(), *format, opt, stdout, stderr)
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v (axis overrides need -run or -spec)", fs.Args())
+	}
+	return reproduce(*out, *only, q, stdout)
+}
+
+// reproduce regenerates the paper's figures and tables into dir.
+func reproduce(dir, only string, q report.Quality, stdout io.Writer) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
 	}
 
 	type experiment struct {
@@ -49,88 +106,49 @@ func main() {
 		run func() error
 	}
 	writeFig := func(fig *report.Figure) error {
-		path := filepath.Join(*out, fig.ID+".tsv")
+		path := filepath.Join(dir, fig.ID+".tsv")
 		if err := os.WriteFile(path, []byte(fig.TSV()), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("  wrote %s\n", path)
+		fmt.Fprintf(stdout, "  wrote %s\n", path)
 		return nil
+	}
+	writeFigs := func(figs []*report.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, f := range figs {
+			if err := writeFig(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	writeFigErr := func(fig *report.Figure, err error) error {
+		if err != nil {
+			return err
+		}
+		return writeFig(fig)
+	}
+	writeTable := func(name string, t *report.Table, err error) error {
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, t.Render())
+		return os.WriteFile(filepath.Join(dir, name+".tsv"), []byte(t.TSV()), 0o644)
 	}
 
 	experiments := []experiment{
-		{"table1", func() error {
-			t := report.Table1()
-			fmt.Println(t.Render())
-			return os.WriteFile(filepath.Join(*out, "table1.tsv"), []byte(t.TSV()), 0o644)
-		}},
+		{"table1", func() error { return writeTable("table1", report.Table1(), nil) }},
 		{"fig1", func() error { return writeFig(report.Fig1()) }},
-		{"fig2", func() error {
-			fig, err := report.Fig2(q)
-			if err != nil {
-				return err
-			}
-			return writeFig(fig)
-		}},
-		{"fig4", func() error {
-			figs, err := report.Fig4(q)
-			if err != nil {
-				return err
-			}
-			for _, f := range figs {
-				if err := writeFig(f); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"fig5", func() error {
-			fig, err := report.Fig5(q)
-			if err != nil {
-				return err
-			}
-			return writeFig(fig)
-		}},
-		{"fig6", func() error {
-			fig, err := report.Fig6(q)
-			if err != nil {
-				return err
-			}
-			return writeFig(fig)
-		}},
-		{"fig7", func() error {
-			figs, err := report.Fig7(q)
-			if err != nil {
-				return err
-			}
-			for _, f := range figs {
-				if err := writeFig(f); err != nil {
-					return err
-				}
-			}
-			return nil
-		}},
-		{"fig8", func() error {
-			fig, err := report.Fig8(q)
-			if err != nil {
-				return err
-			}
-			return writeFig(fig)
-		}},
-		{"fig9", func() error {
-			fig, err := report.Fig9(q)
-			if err != nil {
-				return err
-			}
-			return writeFig(fig)
-		}},
-		{"table2", func() error {
-			t, err := report.Table2(q)
-			if err != nil {
-				return err
-			}
-			fmt.Println(t.Render())
-			return os.WriteFile(filepath.Join(*out, "table2.tsv"), []byte(t.TSV()), 0o644)
-		}},
+		{"fig2", func() error { fig, err := report.Fig2(q); return writeFigErr(fig, err) }},
+		{"fig4", func() error { figs, err := report.Fig4(q); return writeFigs(figs, err) }},
+		{"fig5", func() error { fig, err := report.Fig5(q); return writeFigErr(fig, err) }},
+		{"fig6", func() error { fig, err := report.Fig6(q); return writeFigErr(fig, err) }},
+		{"fig7", func() error { figs, err := report.Fig7(q); return writeFigs(figs, err) }},
+		{"fig8", func() error { fig, err := report.Fig8(q); return writeFigErr(fig, err) }},
+		{"fig9", func() error { fig, err := report.Fig9(q); return writeFigErr(fig, err) }},
+		{"table2", func() error { t, err := report.Table2(q); return writeTable("table2", t, err) }},
 		{"ablations", func() error {
 			if err := writeFig(report.AblationMPS()); err != nil {
 				return err
@@ -150,28 +168,20 @@ func main() {
 		}},
 		{"expect", func() error {
 			t, err := report.Expectations(q)
-			if err != nil {
-				return err
-			}
-			fmt.Println(t.Render())
-			return os.WriteFile(filepath.Join(*out, "expectations.tsv"), []byte(t.TSV()), 0o644)
+			return writeTable("expectations", t, err)
 		}},
 	}
 
 	for _, e := range experiments {
-		if *only != "" && !strings.HasPrefix(e.id, *only) && e.id != "expect" {
+		if only != "" && !strings.HasPrefix(e.id, only) && e.id != "expect" {
 			continue
 		}
 		start := time.Now()
-		fmt.Printf("== %s ==\n", e.id)
+		fmt.Fprintf(stdout, "== %s ==\n", e.id)
 		if err := e.run(); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.id, err))
+			return fmt.Errorf("%s: %w", e.id, err)
 		}
-		fmt.Printf("  (%.1fs)\n", time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "  (%.1fs)\n", time.Since(start).Seconds())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcie-repro:", err)
-	os.Exit(1)
+	return nil
 }

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command as the shell would and captures stdout.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestListSweeps(t *testing.T) {
+	out, err := runCLI(t, "-list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"fig2", "fig4", "fig9", "table2-ddio", "cells"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRegisteredSweep(t *testing.T) {
+	out, err := runCLI(t, "-run", "table2-ddio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cache", "warm", "cold", "lat_rd:median"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunWithOverrides(t *testing.T) {
+	// Shrink the grid and move it to another system: the overrides must
+	// land in the emitted header and rows.
+	out, err := runCLI(t, "-run", "table2-ddio", "-format", "tsv",
+		"cache=warm", "system=NFP6000-SNB", "n=50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "\ncold\t") {
+		t.Errorf("axis override did not replace values:\n%s", out)
+	}
+	if !strings.Contains(out, "\nwarm\t") {
+		t.Errorf("override output missing warm row:\n%s", out)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus-flag"},                            // unknown flag
+		{"-run", "no-such-sweep"},                  // unknown sweep
+		{"-run", "table2-ddio", "bogus=1"},         // unknown override key
+		{"-run", "table2-ddio", "-format", "yaml"}, // unknown emitter
+		{"-spec", "does-not-exist.json"},           // missing spec file
+		{"stray-arg"},                              // overrides without -run/-spec
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
+func TestSpecFile(t *testing.T) {
+	dir := t.TempDir()
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{
+		"name": "cli-test",
+		"axes": [{"name": "transfer", "values": ["8", "64"]}],
+		"base": {"system": "NFP6000-HSW", "bench": "lat_rd",
+		         "window": "4K", "buffer": "64K", "nojitter": "true", "n": "40"}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, "-spec", good, "-format", "csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "transfer,lat_rd:median") {
+		t.Errorf("csv output:\n%s", out)
+	}
+
+	for name, body := range map[string]string{
+		"syntax.json":  `{"name": "x", "axes": [`,
+		"unknown.json": `{"name": "x", "axes": [{"name": "transfer", "values": ["8"]}], "frobnicate": 1}`,
+		"badaxis.json": `{"name": "x", "axes": [{"name": "warp", "values": ["9"]}]}`,
+		"badval.json":  `{"name": "x", "axes": [{"name": "cache", "values": ["lukewarm"]}]}`,
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := runCLI(t, "-spec", path); err == nil {
+			t.Errorf("%s accepted, want error", name)
+		}
+	}
+}
+
+func TestReproduceSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a measured experiment; run without -short")
+	}
+	dir := t.TempDir()
+	out, err := runCLI(t, "-only", "table1", "-out", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "NFP6000-HSW") {
+		t.Errorf("table1 output:\n%s", out)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "table1.tsv")); err != nil {
+		t.Errorf("table1.tsv not written: %v", err)
+	}
+}

@@ -80,7 +80,7 @@ func AblationGen4(q Quality) (*Figure, error) {
 		}
 		res, err := bench.BwRd(inst.Target(), bench.Params{
 			WindowSize: 8 << 10, TransferSize: c.sz,
-			Cache: bench.HostWarm, Transactions: q.bwN(),
+			Cache: bench.HostWarm, Transactions: q.BwN(),
 		})
 		if err != nil {
 			return 0, err
@@ -135,7 +135,7 @@ func AblationWalkers(q Quality) (*Figure, error) {
 		}
 		res, err := bench.BwRd(inst.Target(), bench.Params{
 			WindowSize: 16 << 20, TransferSize: 64,
-			Cache: bench.HostWarm, Transactions: q.bwN(),
+			Cache: bench.HostWarm, Transactions: q.BwN(),
 		})
 		if err != nil {
 			return 0, err
@@ -185,7 +185,7 @@ func AblationInFlight(q Quality) (*Figure, error) {
 		tgt := &bench.Target{Host: inst.Host, Engine: eng, Buffer: inst.Buffer}
 		res, err := bench.BwRd(tgt, bench.Params{
 			WindowSize: 8 << 10, TransferSize: 64,
-			Cache: bench.HostWarm, Transactions: q.bwN(),
+			Cache: bench.HostWarm, Transactions: q.BwN(),
 		})
 		if err != nil {
 			return 0, err

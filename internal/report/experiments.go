@@ -1,22 +1,40 @@
 package report
 
 import (
+	"context"
 	"fmt"
 
-	"pciebench/internal/bench"
 	"pciebench/internal/model"
-	"pciebench/internal/nicsim"
 	"pciebench/internal/pcie"
 	"pciebench/internal/stats"
+	"pciebench/internal/sweep"
 	"pciebench/internal/sysconf"
 )
 
-// The measured experiments below all follow the same shape: enumerate
-// the sweep's points in their figure order, evaluate every point as an
-// independent runner unit (each builds its own simulator instance, so
-// units share no mutable state), and assemble the series from the
-// order-preserving result slice. That keeps the output byte-identical
-// at any parallelism while the wall clock scales with the worker count.
+// Every measured experiment below is a registered sweep.Spec — the
+// declarative grid of axes the paper's figure walks — plus a thin
+// assembly function that shapes the executed cells into the figure's
+// series. The sweep engine runs each cell as an independent runner
+// unit with deterministic seeds, so the output stays byte-identical at
+// any parallelism while the wall clock scales with the worker count.
+// The same specs are runnable standalone from the CLI (`pcie-repro
+// -run fig4 gen=4,5`), where the generic grid emitters apply.
+
+func init() {
+	for _, s := range []*sweep.Spec{
+		fig2Spec(), fig4Spec(), fig5Spec(), fig6Spec(),
+		fig7Spec(), fig8Spec(), fig9Spec(), ddioSpec(),
+	} {
+		sweep.Register(s)
+	}
+}
+
+// runSpec executes a spec on the report worker pool.
+func runSpec(s *sweep.Spec, q Quality) (*sweep.Result, error) {
+	return s.Run(context.Background(), sweep.RunOptions{
+		Workers: Parallelism(), Quality: q,
+	})
+}
 
 // Fig1 computes the modeled bidirectional bandwidth of a Gen3 x8 link
 // against the achievable throughput of the paper's NIC/driver designs
@@ -47,50 +65,49 @@ func Fig1() *Figure {
 	return fig
 }
 
-// Fig2 measures the ExaNIC-style loopback NIC latency and its PCIe
-// share across frame sizes (§2, Figure 2). Each frame size is one unit
-// with its own loopback instance.
-func Fig2(q Quality) (*Figure, error) {
-	count := 16
-	if q == Full {
-		count = 200
-	}
+// fig2Sizes returns the Figure 2 frame-size sweep (64..1600 step 64).
+func fig2Sizes() []int {
 	var sizes []int
 	for sz := 64; sz <= 1600; sz += 64 {
 		sizes = append(sizes, sz)
 	}
-	type point struct {
-		ns   float64
-		frac float64
+	return sizes
+}
+
+func fig2Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "fig2",
+		Title:       "Measurement of NIC PCIe latency (loopback)",
+		Description: "ExaNIC-style loopback latency and its PCIe share across frame sizes (§2, Fig 2)",
+		XAxis:       "transfer",
+		XLabel:      "Transfer Size (Bytes)",
+		YLabel:      "Median Latency (ns)",
+		Axes:        []sweep.Axis{sweep.IntAxis("transfer", fig2Sizes()...)},
+		Base: map[string]string{
+			"system": "NFP6000-HSW", "bench": "loopback",
+			"buffer": "1M", "nojitter": "true",
+		},
+		SeedMode: sweep.SeedFixed,
 	}
-	pts, err := runUnits(sizes, func(sz int) (point, error) {
-		sys, err := sysconf.ByName("NFP6000-HSW")
-		if err != nil {
-			return point{}, err
-		}
-		inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
-		if err != nil {
-			return point{}, err
-		}
-		inst.Buffer.WarmHost(0, 64<<10) // RX ring is hot in a polling app
-		samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(), inst.Buffer.DMAAddr(0), sz, count)
-		if err != nil {
-			return point{}, err
-		}
-		med, f := nicsim.MedianLoopback(samples)
-		return point{ns: med.Nanoseconds(), frac: f}, nil
-	})
+}
+
+// Fig2 measures the ExaNIC-style loopback NIC latency and its PCIe
+// share across frame sizes (§2, Figure 2). Each frame size is one cell
+// with its own loopback instance.
+func Fig2(q Quality) (*Figure, error) {
+	res, err := runSpec(fig2Spec(), q)
 	if err != nil {
 		return nil, err
 	}
 	total := &stats.Series{Name: "NIC"}
 	pcieNS := &stats.Series{Name: "PCIe contribution"}
 	frac := &stats.Series{Name: "PCIe fraction"}
-	for i, sz := range sizes {
-		x := float64(sz)
-		total.Append(x, pts[i].ns)
-		pcieNS.Append(x, pts[i].ns*pts[i].frac)
-		frac.Append(x, pts[i].frac)
+	for _, c := range res.Cells {
+		x := float64(c.Cell.Int("transfer"))
+		m := c.Meas[0]
+		total.Append(x, m.Median)
+		pcieNS.Append(x, m.Median*m.Frac)
+		frac.Append(x, m.Frac)
 	}
 	return &Figure{
 		ID:     "fig2",
@@ -116,72 +133,64 @@ func Table1() *Table {
 	return t
 }
 
-// baselineTarget builds the Fig 4/5 setup: the named system with an
-// 8 KB host-warmed buffer window, no jitter for reproducible medians.
-func baselineTarget(name string, seed int64) (*bench.Target, error) {
-	sys, err := sysconf.ByName(name)
-	if err != nil {
-		return nil, err
-	}
-	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true, Seed: seed})
-	if err != nil {
-		return nil, err
-	}
-	return inst.Target(), nil
-}
-
 // baselineSystems are the two devices compared in Figures 4 and 5.
 var baselineSystems = []string{"NFP6000-HSW", "NetFPGA-HSW"}
 
+// baselineBase is the Fig 4/5 cell setup: an 8 KB host-warmed window
+// in a 1 MB buffer, no jitter for reproducible medians.
+func baselineBase(seed string) map[string]string {
+	return map[string]string{
+		"window": "8K", "cache": "warm", "nojitter": "true",
+		"buffer": "1M", "seed": seed,
+	}
+}
+
+// fig4Kinds maps the Figure 4 benchmark axis to sub-figure IDs and
+// model curves.
+var fig4Kinds = []struct {
+	bench string
+	id    string
+	title string
+	model func(pcie.LinkConfig, int) float64
+}{
+	{"bw_rd", "fig4a", "PCIe Read Bandwidth", model.EffectiveReadBandwidth},
+	{"bw_wr", "fig4b", "PCIe Write Bandwidth", model.EffectiveWriteBandwidth},
+	{"bw_rdwr", "fig4c", "PCIe Read/Write Bandwidth", model.EffectiveBidirBandwidth},
+}
+
+func fig4Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "fig4",
+		Title:       "Baseline bandwidth, NFP6000-HSW vs NetFPGA-HSW",
+		Description: "BW_RD/BW_WR/BW_RDWR across transfer sizes, warm 8KB window (§6.1, Fig 4)",
+		XAxis:       "transfer",
+		XLabel:      "Transfer Size (Bytes)",
+		YLabel:      "Bandwidth (Gb/s)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("bench", "bw_rd", "bw_wr", "bw_rdwr"),
+			sweep.StrAxis("system", baselineSystems...),
+			sweep.IntAxis("transfer", transferSizes()...),
+		},
+		Base:     baselineBase("11"),
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
 // Fig4 runs the baseline bandwidth comparison (Figure 4): BW_RD, BW_WR
 // and BW_RDWR for NFP6000-HSW and NetFPGA-HSW against the model, with a
-// warm 8 KB window. Every (benchmark, system, size) point is one unit
+// warm 8 KB window. Every (benchmark, system, size) point is one cell
 // against a freshly built target.
 func Fig4(q Quality) ([]*Figure, error) {
-	cfg := pcie.DefaultGen3x8()
-	kinds := []struct {
-		id    string
-		title string
-		run   func(*bench.Target, bench.Params) (*bench.BandwidthResult, error)
-		model func(pcie.LinkConfig, int) float64
-	}{
-		{"fig4a", "PCIe Read Bandwidth", bench.BwRd, model.EffectiveReadBandwidth},
-		{"fig4b", "PCIe Write Bandwidth", bench.BwWr, model.EffectiveWriteBandwidth},
-		{"fig4c", "PCIe Read/Write Bandwidth", bench.BwRdWr, model.EffectiveBidirBandwidth},
-	}
-	type cell struct {
-		kind int
-		sys  string
-		sz   int
-	}
-	var cells []cell
-	for ki := range kinds {
-		for _, sysName := range baselineSystems {
-			for _, sz := range transferSizes() {
-				cells = append(cells, cell{ki, sysName, sz})
-			}
-		}
-	}
-	vals, err := runUnits(cells, func(c cell) (float64, error) {
-		tgt, err := baselineTarget(c.sys, 11)
-		if err != nil {
-			return 0, err
-		}
-		res, err := kinds[c.kind].run(tgt, bench.Params{
-			WindowSize: 8 << 10, TransferSize: c.sz,
-			Cache: bench.HostWarm, Transactions: q.bwN(),
-		})
-		if err != nil {
-			return 0, err
-		}
-		return res.Gbps, nil
-	})
+	res, err := runSpec(fig4Spec(), q)
 	if err != nil {
 		return nil, err
 	}
+	cfg := pcie.DefaultGen3x8()
 	var out []*Figure
+	idOf := make(map[string]string)
 	seriesOf := make(map[string]*stats.Series)
-	for _, kind := range kinds {
+	for _, kind := range fig4Kinds {
+		idOf[kind.bench] = kind.id
 		fig := &Figure{
 			ID:     kind.id,
 			Title:  kind.title,
@@ -202,52 +211,41 @@ func Fig4(q Quality) ([]*Figure, error) {
 		}
 		out = append(out, fig)
 	}
-	// Assemble from the same cells slice the units ran over, so values
-	// cannot land on the wrong series if the enumeration ever changes.
-	for i, c := range cells {
-		seriesOf[kinds[c.kind].id+"|"+c.sys].Append(float64(c.sz), vals[i])
+	// Assemble from the cells the sweep ran over, so values cannot land
+	// on the wrong series if the enumeration ever changes.
+	for _, c := range res.Cells {
+		key := idOf[c.Cell.Get("bench")] + "|" + c.Cell.Get("system")
+		seriesOf[key].Append(float64(c.Cell.Int("transfer")), c.Values[0])
 	}
 	return out, nil
 }
 
+func fig5Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "fig5",
+		Title:       "Median DMA latency, NFP6000-HSW vs NetFPGA-HSW",
+		Description: "Median LAT_RD and LAT_WRRD across transfer sizes (§6.1, Fig 5)",
+		XAxis:       "transfer",
+		XLabel:      "Transfer Size (Bytes)",
+		YLabel:      "Latency (ns)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("system", baselineSystems...),
+			sweep.IntAxis("transfer", latencySizes()...),
+		},
+		Base: baselineBase("13"),
+		Probes: []sweep.Probe{
+			{Label: "LAT_RD", Set: map[string]string{"bench": "lat_rd"}},
+			{Label: "LAT_WRRD", Set: map[string]string{"bench": "lat_wrrd"}},
+		},
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
 // Fig5 runs the baseline latency comparison (Figure 5): median LAT_RD
-// and LAT_WRRD for both devices across transfer sizes. One unit per
+// and LAT_WRRD for both devices across transfer sizes. One cell per
 // (system, size) pair measures both benchmarks on fresh targets.
 func Fig5(q Quality) (*Figure, error) {
-	type cell struct {
-		sys string
-		sz  int
-	}
-	type point struct{ rd, wr float64 }
-	var cells []cell
-	for _, sysName := range baselineSystems {
-		for _, sz := range latencySizes() {
-			cells = append(cells, cell{sysName, sz})
-		}
-	}
-	pts, err := runUnits(cells, func(c cell) (point, error) {
-		p := bench.Params{
-			WindowSize: 8 << 10, TransferSize: c.sz,
-			Cache: bench.HostWarm, Transactions: q.latN(),
-		}
-		tgt, err := baselineTarget(c.sys, 13)
-		if err != nil {
-			return point{}, err
-		}
-		r1, err := bench.LatRd(tgt, p)
-		if err != nil {
-			return point{}, err
-		}
-		tgt, err = baselineTarget(c.sys, 13)
-		if err != nil {
-			return point{}, err
-		}
-		r2, err := bench.LatWrRd(tgt, p)
-		if err != nil {
-			return point{}, err
-		}
-		return point{rd: r1.Summary.Median, wr: r2.Summary.Median}, nil
-	})
+	res, err := runSpec(fig5Spec(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -264,112 +262,91 @@ func Fig5(q Quality) (*Figure, error) {
 		wrOf[sysName] = &stats.Series{Name: "LAT_WRRD (" + sysName + ")"}
 		fig.Series = append(fig.Series, rdOf[sysName], wrOf[sysName])
 	}
-	for i, c := range cells {
-		rdOf[c.sys].Append(float64(c.sz), pts[i].rd)
-		wrOf[c.sys].Append(float64(c.sz), pts[i].wr)
+	for _, c := range res.Cells {
+		sysName := c.Cell.Get("system")
+		x := float64(c.Cell.Int("transfer"))
+		rdOf[sysName].Append(x, c.Values[0])
+		wrOf[sysName].Append(x, c.Values[1])
 	}
 	return fig, nil
 }
 
+func fig6Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "fig6",
+		Title:       "Latency distribution, 64B DMA reads, warm cache",
+		Description: "64B read-latency CDFs for the Xeon E5 and E3 hosts, jitter models active (§6.2, Fig 6)",
+		XLabel:      "Latency (ns)",
+		YLabel:      "CDF",
+		Axes:        []sweep.Axis{sweep.StrAxis("system", "NFP6000-HSW", "NFP6000-HSW-E3")},
+		Base: map[string]string{
+			"bench": "lat_rd", "window": "8K", "transfer": "64",
+			"cache": "warm", "buffer": "1M", "seed": "17",
+		},
+		Probes:   []sweep.Probe{{Label: "LAT_RD", Metric: sweep.MetricCDF}},
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
 // Fig6 produces the 64 B read-latency CDFs for the Xeon E5 and E3
 // systems (Figure 6), with the jitter models active. Each system is one
-// unit.
+// cell.
 func Fig6(q Quality) (*Figure, error) {
-	series, err := runUnits([]string{"NFP6000-HSW", "NFP6000-HSW-E3"},
-		func(sysName string) (*stats.Series, error) {
-			sys, err := sysconf.ByName(sysName)
-			if err != nil {
-				return nil, err
-			}
-			inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, Seed: 17})
-			if err != nil {
-				return nil, err
-			}
-			res, err := bench.LatRd(inst.Target(), bench.Params{
-				WindowSize: 8 << 10, TransferSize: 64,
-				Cache: bench.HostWarm, Transactions: q.cdfN(),
-			})
-			if err != nil {
-				return nil, err
-			}
-			cdf, err := res.CDF()
-			if err != nil {
-				return nil, err
-			}
-			s := &stats.Series{Name: sysName}
-			s.X = cdf.Values
-			s.Y = cdf.Cum
-			return s, nil
-		})
+	res, err := runSpec(fig6Spec(), q)
 	if err != nil {
 		return nil, err
 	}
-	return &Figure{
+	fig := &Figure{
 		ID:     "fig6",
 		Title:  "Latency distribution, 64B DMA reads, warm cache",
 		XLabel: "Latency (ns)",
 		YLabel: "CDF",
-		Series: series,
-	}, nil
+	}
+	for _, c := range res.Cells {
+		cdf := c.Meas[0].CDF
+		s := &stats.Series{Name: c.Cell.Get("system")}
+		s.X = cdf.Values
+		s.Y = cdf.Cum
+		fig.Series = append(fig.Series, s)
+	}
+	return fig, nil
+}
+
+func fig7Spec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "fig7",
+		Title:       "Cache effects on latency and bandwidth (NFP6000-SNB)",
+		Description: "Window sweep exposing LLC and DDIO effects, cold vs warm (§6.3, Fig 7)",
+		XAxis:       "window",
+		XLabel:      "Window size (Bytes)",
+		YLabel:      "Latency (ns) / Bandwidth (Gb/s)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("cache", "cold", "warm"),
+			sweep.IntAxis("window", windowSizes()...),
+		},
+		Base: map[string]string{
+			"system": "NFP6000-SNB", "nojitter": "true", "seed": "19",
+		},
+		// All four benchmarks of a point run against one freshly built
+		// instance, exactly like the paper's per-point runs.
+		SharedInstance: true,
+		Probes: []sweep.Probe{
+			{Label: "8B LAT_RD", Set: map[string]string{"bench": "lat_rd", "transfer": "8", "direct": "true"}},
+			{Label: "8B LAT_WRRD", Set: map[string]string{"bench": "lat_wrrd", "transfer": "8", "direct": "true"}},
+			{Label: "64B BW_RD", Set: map[string]string{"bench": "bw_rd", "transfer": "64"}},
+			{Label: "64B BW_WR", Set: map[string]string{"bench": "bw_wr", "transfer": "64"}},
+		},
+		SeedMode: sweep.SeedFixed,
+	}
 }
 
 // Fig7 sweeps the window size to expose LLC and DDIO effects on the
 // NFP6000-SNB system (Figure 7): (a) 8 B latency via the direct command
-// interface, cold vs warm; (b) 64 B bandwidth, cold vs warm. One unit
+// interface, cold vs warm; (b) 64 B bandwidth, cold vs warm. One cell
 // per (cache state, window) runs all four benchmarks against a shared
-// freshly built instance, exactly like the paper's per-point runs.
+// freshly built instance.
 func Fig7(q Quality) ([]*Figure, error) {
-	states := []bench.CacheState{bench.Cold, bench.HostWarm}
-	type cell struct {
-		cache bench.CacheState
-		win   int
-	}
-	type point struct{ latRd, latWr, bwRd, bwWr float64 }
-	var cells []cell
-	for _, cache := range states {
-		for _, win := range windowSizes() {
-			cells = append(cells, cell{cache, win})
-		}
-	}
-	pts, err := runUnits(cells, func(c cell) (point, error) {
-		sys, err := sysconf.ByName("NFP6000-SNB")
-		if err != nil {
-			return point{}, err
-		}
-		inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 19})
-		if err != nil {
-			return point{}, err
-		}
-		tgt := inst.Target()
-		pl := bench.Params{
-			WindowSize: c.win, TransferSize: 8, Cache: c.cache,
-			Transactions: q.latN(), Direct: true,
-		}
-		r1, err := bench.LatRd(tgt, pl)
-		if err != nil {
-			return point{}, err
-		}
-		r2, err := bench.LatWrRd(tgt, pl)
-		if err != nil {
-			return point{}, err
-		}
-		pb := bench.Params{
-			WindowSize: c.win, TransferSize: 64, Cache: c.cache,
-			Transactions: q.bwN(),
-		}
-		b1, err := bench.BwRd(tgt, pb)
-		if err != nil {
-			return point{}, err
-		}
-		b2, err := bench.BwWr(tgt, pb)
-		if err != nil {
-			return point{}, err
-		}
-		return point{
-			latRd: r1.Summary.Median, latWr: r2.Summary.Median,
-			bwRd: b1.Gbps, bwWr: b2.Gbps,
-		}, nil
-	})
+	res, err := runSpec(fig7Spec(), q)
 	if err != nil {
 		return nil, err
 	}
@@ -382,8 +359,8 @@ func Fig7(q Quality) ([]*Figure, error) {
 		XLabel: "Window size (Bytes)", YLabel: "Bandwidth (Gb/s)",
 	}
 	type group struct{ latRd, latWr, bwRd, bwWr *stats.Series }
-	groups := make(map[bench.CacheState]group)
-	for _, cache := range states {
+	groups := make(map[string]group)
+	for _, cache := range []string{"cold", "warm"} {
 		g := group{
 			latRd: &stats.Series{Name: fmt.Sprintf("8B LAT_RD (%s)", cache)},
 			latWr: &stats.Series{Name: fmt.Sprintf("8B LAT_WRRD (%s)", cache)},
@@ -394,60 +371,51 @@ func Fig7(q Quality) ([]*Figure, error) {
 		figA.Series = append(figA.Series, g.latRd, g.latWr)
 		figB.Series = append(figB.Series, g.bwRd, g.bwWr)
 	}
-	for i, c := range cells {
-		g := groups[c.cache]
-		x := float64(c.win)
-		g.latRd.Append(x, pts[i].latRd)
-		g.latWr.Append(x, pts[i].latWr)
-		g.bwRd.Append(x, pts[i].bwRd)
-		g.bwWr.Append(x, pts[i].bwWr)
+	for _, c := range res.Cells {
+		g := groups[c.Cell.Get("cache")]
+		x := float64(c.Cell.Int("window"))
+		g.latRd.Append(x, c.Values[0])
+		g.latWr.Append(x, c.Values[1])
+		g.bwRd.Append(x, c.Values[2])
+		g.bwWr.Append(x, c.Values[3])
 	}
 	return []*Figure{figA, figB}, nil
 }
 
-// bwDeltaFigure is the shared shape of Figures 8 and 9: for several
+// bwDeltaSpec is the shared shape of Figures 8 and 9: for several
 // transfer sizes across window sizes, measure warm-cache BW_RD on
-// NFP6000-BDW under a baseline (toggle=false) and a perturbed
-// (toggle=true) build of the system, and report the percentage change.
-// One unit per (size, window) measures both settings.
-func bwDeltaFigure(q Quality, id, title string, build func(toggle bool) sysconf.Options) (*Figure, error) {
-	sizes := []int{64, 128, 256, 512}
-	type cell struct{ sz, win int }
-	var cells []cell
-	for _, sz := range sizes {
-		for _, win := range windowSizes() {
-			cells = append(cells, cell{sz, win})
-		}
+// NFP6000-BDW under a baseline and a perturbed build of the system,
+// and report the percentage change. One cell per (size, window)
+// measures both settings.
+func bwDeltaSpec(name, title, description, seed string, extraBase, contrastSet map[string]string) *sweep.Spec {
+	base := map[string]string{
+		"system": "NFP6000-BDW", "bench": "bw_rd", "cache": "warm",
+		"nojitter": "true", "seed": seed,
 	}
-	pcts, err := runUnits(cells, func(c cell) (float64, error) {
-		run := func(toggle bool) (float64, error) {
-			sys, err := sysconf.ByName("NFP6000-BDW")
-			if err != nil {
-				return 0, err
-			}
-			inst, err := sys.Build(build(toggle))
-			if err != nil {
-				return 0, err
-			}
-			res, err := bench.BwRd(inst.Target(), bench.Params{
-				WindowSize: c.win, TransferSize: c.sz,
-				Cache: bench.HostWarm, Transactions: q.bwN(),
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.Gbps, nil
-		}
-		base, err := run(false)
-		if err != nil {
-			return 0, err
-		}
-		perturbed, err := run(true)
-		if err != nil {
-			return 0, err
-		}
-		return 100 * (perturbed - base) / base, nil
-	})
+	for k, v := range extraBase {
+		base[k] = v
+	}
+	return &sweep.Spec{
+		Name:        name,
+		Title:       title,
+		Description: description,
+		XAxis:       "window",
+		XLabel:      "Window size (Bytes)",
+		YLabel:      "% change of bandwidth",
+		Axes: []sweep.Axis{
+			sweep.IntAxis("transfer", 64, 128, 256, 512),
+			sweep.IntAxis("window", windowSizes()...),
+		},
+		Base:     base,
+		Contrast: &sweep.Contrast{Set: contrastSet},
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
+// bwDeltaFigure assembles a Figure 8/9-shaped result: one series per
+// transfer size across window sizes.
+func bwDeltaFigure(s *sweep.Spec, q Quality, id, title string) (*Figure, error) {
+	res, err := runSpec(s, q)
 	if err != nil {
 		return nil, err
 	}
@@ -456,39 +424,64 @@ func bwDeltaFigure(q Quality, id, title string, build func(toggle bool) sysconf.
 		XLabel: "Window size (Bytes)", YLabel: "% change of bandwidth",
 	}
 	seriesOf := make(map[int]*stats.Series)
-	for _, sz := range sizes {
+	for _, sz := range []int{64, 128, 256, 512} {
 		seriesOf[sz] = &stats.Series{Name: fmt.Sprintf("%dB BW_RD", sz)}
 		fig.Series = append(fig.Series, seriesOf[sz])
 	}
-	for i, c := range cells {
-		seriesOf[c.sz].Append(float64(c.win), pcts[i])
+	for _, c := range res.Cells {
+		seriesOf[c.Cell.Int("transfer")].Append(float64(c.Cell.Int("window")), c.Values[0])
 	}
 	return fig, nil
+}
+
+func fig8Spec() *sweep.Spec {
+	return bwDeltaSpec("fig8",
+		"Local vs remote DMA reads, warm cache (NFP6000-BDW)",
+		"NUMA penalty: % change of warm BW_RD, node-local vs remote buffer (§6.4, Fig 8)",
+		"23",
+		map[string]string{"node": "0"},
+		map[string]string{"node": "1"})
 }
 
 // Fig8 measures the NUMA penalty on NFP6000-BDW (Figure 8): percentage
 // change of warm-cache BW_RD between a node-local and a remote buffer.
 func Fig8(q Quality) (*Figure, error) {
-	return bwDeltaFigure(q, "fig8",
-		"Local vs remote DMA reads, warm cache (NFP6000-BDW)",
-		func(remote bool) sysconf.Options {
-			node := 0
-			if remote {
-				node = 1
-			}
-			return sysconf.Options{NoJitter: true, Seed: 23, BufferNode: node}
-		})
+	return bwDeltaFigure(fig8Spec(), q, "fig8",
+		"Local vs remote DMA reads, warm cache (NFP6000-BDW)")
+}
+
+func fig9Spec() *sweep.Spec {
+	return bwDeltaSpec("fig9",
+		"IOMMU impact on DMA reads, warm cache (NFP6000-BDW)",
+		"IOMMU impact: % change of warm BW_RD, IOMMU on (4KB mappings) vs off (§6.5, Fig 9)",
+		"29",
+		map[string]string{"iommu": "false", "sp": "false"},
+		map[string]string{"iommu": "true"})
 }
 
 // Fig9 measures the IOMMU impact on NFP6000-BDW (Figure 9): percentage
 // change of warm-cache BW_RD with the IOMMU enabled (4 KB mappings,
 // sp_off) relative to disabled.
 func Fig9(q Quality) (*Figure, error) {
-	return bwDeltaFigure(q, "fig9",
-		"IOMMU impact on DMA reads, warm cache (NFP6000-BDW)",
-		func(iommuOn bool) sysconf.Options {
-			return sysconf.Options{NoJitter: true, Seed: 29, IOMMU: iommuOn, SuperPages: false}
-		})
+	return bwDeltaFigure(fig9Spec(), q, "fig9",
+		"IOMMU impact on DMA reads, warm cache (NFP6000-BDW)")
+}
+
+func ddioSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "table2-ddio",
+		Title:       "DDIO: 8B direct-read latency, warm vs cold (NFP6000-SNB)",
+		Description: "Descriptor-sized direct reads with the window cache-resident vs thrashed (Table 2)",
+		XAxis:       "cache",
+		XLabel:      "Cache state",
+		YLabel:      "Median latency (ns)",
+		Axes:        []sweep.Axis{sweep.StrAxis("cache", "warm", "cold")},
+		Base: map[string]string{
+			"system": "NFP6000-SNB", "bench": "lat_rd", "window": "64K",
+			"transfer": "8", "direct": "true", "nojitter": "true", "seed": "31",
+		},
+		SeedMode: sweep.SeedFixed,
+	}
 }
 
 // Table2 derives the paper's notable-findings table from fresh
@@ -515,30 +508,12 @@ func Table2(q Quality) (*Table, error) {
 	})
 
 	// DDIO: warm descriptor-sized accesses are faster. The two cache
-	// states are independent units.
-	medians, err := runUnits([]bench.CacheState{bench.HostWarm, bench.Cold},
-		func(cache bench.CacheState) (float64, error) {
-			sys, err := sysconf.ByName("NFP6000-SNB")
-			if err != nil {
-				return 0, err
-			}
-			inst, err := sys.Build(sysconf.Options{NoJitter: true, Seed: 31})
-			if err != nil {
-				return 0, err
-			}
-			res, err := bench.LatRd(inst.Target(), bench.Params{
-				WindowSize: 64 << 10, TransferSize: 8, Cache: cache,
-				Transactions: q.latN(), Direct: true,
-			})
-			if err != nil {
-				return 0, err
-			}
-			return res.Summary.Median, nil
-		})
+	// states are independent cells.
+	ddio, err := runSpec(ddioSpec(), q)
 	if err != nil {
 		return nil, err
 	}
-	warm, cold := medians[0], medians[1]
+	warm, cold := ddio.Cells[0].Values[0], ddio.Cells[1].Values[0]
 	t.Rows = append(t.Rows, []string{
 		"DDIO (Fig 7)",
 		fmt.Sprintf("small reads %.0fns faster when cache resident (%.0f vs %.0f)", cold-warm, warm, cold),

@@ -18,6 +18,7 @@ import (
 
 	"pciebench/internal/runner"
 	"pciebench/internal/stats"
+	"pciebench/internal/sweep"
 )
 
 // parallelism is the worker count for the package's experiment sweeps;
@@ -53,42 +54,16 @@ func runUnits[T, R any](items []T, fn func(T) (R, error)) ([]R, error) {
 		func(_ context.Context, _ int, item T) (R, error) { return fn(item) })
 }
 
-// Quality scales experiment sizes: Quick keeps test runs fast, Full
-// approaches the paper's sample counts (the paper journals 2M latency
-// samples and 8M bandwidth DMAs per point; Full uses enough to
-// stabilize medians and the tails that matter).
-type Quality int
+// Quality scales experiment sizes; the Quick/Full knob and its
+// per-benchmark transaction counts are defined once in internal/sweep
+// and aliased here for the experiment entry points.
+type Quality = sweep.Quality
 
 // Quality levels.
 const (
-	Quick Quality = iota
-	Full
+	Quick = sweep.Quick
+	Full  = sweep.Full
 )
-
-// latN returns latency samples per point.
-func (q Quality) latN() int {
-	if q == Full {
-		return 20000
-	}
-	return 400
-}
-
-// bwN returns bandwidth transactions per point.
-func (q Quality) bwN() int {
-	if q == Full {
-		return 60000
-	}
-	return 4000
-}
-
-// cdfN returns samples for distribution experiments (Fig 6 needs a
-// resolved 99.9th percentile).
-func (q Quality) cdfN() int {
-	if q == Full {
-		return 200000
-	}
-	return 20000
-}
 
 // Table is a rendered result table.
 type Table struct {

@@ -1,0 +1,68 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The helpers below are the shared CLI surface of cmd/pcie-repro and
+// cmd/pcie-bench: list registered sweeps, load a JSON spec, and run a
+// grid with overrides applied and the result emitted. Keeping them
+// here means the two commands cannot drift apart.
+
+// ListSpecs prints the registered sweeps: name, cell count, axis
+// shapes and description.
+func ListSpecs(w io.Writer) {
+	for _, s := range Specs() {
+		axes := make([]string, 0, len(s.Axes))
+		for _, a := range s.Axes {
+			axes = append(axes, fmt.Sprintf("%s(%d)", a.Name, len(a.Values)))
+		}
+		fmt.Fprintf(w, "%-12s %4d cells  %-32s %s\n",
+			s.Name, s.Count(), strings.Join(axes, " x "), s.Description)
+	}
+}
+
+// LoadSpecFile reads and validates a JSON sweep spec.
+func LoadSpecFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	s, err := Decode(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// RunAndEmit applies CLI overrides to the spec, executes the grid and
+// emits it to stdout in the requested format. When the caller leaves
+// opt.Progress nil and passes a non-nil stderr, grids above 64 cells
+// get a progress meter there.
+func RunAndEmit(ctx context.Context, spec *Spec, overrides []string, format string, opt RunOptions, stdout, stderr io.Writer) error {
+	emit, err := EmitterFor(format)
+	if err != nil {
+		return err
+	}
+	if err := spec.ApplyOverrides(overrides); err != nil {
+		return err
+	}
+	if opt.Progress == nil && stderr != nil && spec.Count() > 64 {
+		opt.Progress = func(done, total int) {
+			if done%32 == 0 || done == total {
+				fmt.Fprintf(stderr, "\r%d/%d", done, total)
+			}
+		}
+		defer fmt.Fprintln(stderr)
+	}
+	res, err := spec.Run(ctx, opt)
+	if err != nil {
+		return err
+	}
+	return emit(stdout, res)
+}

@@ -1,0 +1,74 @@
+package sweep
+
+// Quality scales experiment sizes: Quick keeps test runs fast, Full
+// approaches the paper's sample counts (the paper journals 2M latency
+// samples and 8M bandwidth DMAs per point; Full uses enough to
+// stabilize medians and the tails that matter). The scaling is defined
+// once here; every sweep cell whose transaction count is left at zero
+// resolves it from the quality level and the benchmark kind.
+type Quality int
+
+// Quality levels.
+const (
+	Quick Quality = iota
+	Full
+)
+
+// String names the level.
+func (q Quality) String() string {
+	if q == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// LatN returns latency samples per point.
+func (q Quality) LatN() int {
+	if q == Full {
+		return 20000
+	}
+	return 400
+}
+
+// BwN returns bandwidth transactions per point.
+func (q Quality) BwN() int {
+	if q == Full {
+		return 60000
+	}
+	return 4000
+}
+
+// CDFN returns samples for distribution experiments (Figure 6 needs a
+// resolved 99.9th percentile).
+func (q Quality) CDFN() int {
+	if q == Full {
+		return 200000
+	}
+	return 20000
+}
+
+// LoopN returns round trips for the loopback NIC measurement (Fig 2).
+func (q Quality) LoopN() int {
+	if q == Full {
+		return 200
+	}
+	return 16
+}
+
+// Transactions resolves the measured-transaction count for a benchmark
+// kind and probe metric: explicit n values win; otherwise distribution
+// probes use CDFN, latency benchmarks LatN, bandwidth benchmarks BwN
+// and the loopback measurement LoopN.
+func (q Quality) Transactions(benchKind, metric string) int {
+	if metric == MetricCDF {
+		return q.CDFN()
+	}
+	switch benchKind {
+	case BenchLoopback:
+		return q.LoopN()
+	case BenchLatRd, BenchLatWrRd:
+		return q.LatN()
+	default:
+		return q.BwN()
+	}
+}

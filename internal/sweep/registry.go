@@ -1,0 +1,59 @@
+package sweep
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry holds named sweeps — the paper's figures and tables
+// (registered by internal/report) plus anything else a package wants
+// to expose on the CLI. Lookup returns clones, so callers may apply
+// axis overrides freely.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]*Spec{}
+)
+
+// Register adds a spec to the registry; it panics on an invalid spec
+// or a duplicate name (both are programming errors in the registering
+// package).
+func Register(s *Spec) {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("sweep: duplicate spec %q", s.Name))
+	}
+	registry[s.Name] = s.Clone()
+}
+
+// Specs returns clones of every registered spec, sorted by name.
+func Specs() []*Spec {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]*Spec, 0, len(registry))
+	for _, s := range registry {
+		out = append(out, s.Clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName returns a clone of the named spec.
+func ByName(name string) (*Spec, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	if !ok {
+		names := make([]string, 0, len(registry))
+		for n := range registry {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		return nil, fmt.Errorf("sweep: unknown sweep %q (registered: %v)", name, names)
+	}
+	return s.Clone(), nil
+}

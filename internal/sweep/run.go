@@ -1,0 +1,234 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/nicsim"
+	"pciebench/internal/runner"
+	"pciebench/internal/stats"
+	"pciebench/internal/sysconf"
+)
+
+// Measurement is everything one probe observed; probes extract their
+// headline value from it, figure assembly can read the rest (e.g. the
+// loopback PCIe fraction or a full CDF).
+type Measurement struct {
+	Median  float64
+	Gbps    float64
+	Frac    float64
+	Summary stats.Summary
+	CDF     *stats.CDF
+}
+
+// Value extracts a metric from the measurement.
+func (m Measurement) Value(metric string) float64 {
+	switch metric {
+	case MetricGbps:
+		return m.Gbps
+	case MetricFrac:
+		return m.Frac
+	default:
+		return m.Median
+	}
+}
+
+// CellResult is the outcome of one grid cell.
+type CellResult struct {
+	Cell Cell
+	// Meas holds one measurement per probe (under Contrast, the
+	// perturbed run's).
+	Meas []Measurement
+	// Values holds the probe values (under Contrast, the reduction of
+	// baseline and perturbed).
+	Values []float64
+}
+
+// Result is an executed sweep.
+type Result struct {
+	Spec  *Spec
+	Cells []CellResult
+}
+
+// RunOptions tunes a Spec.Run call.
+type RunOptions struct {
+	// Workers is the runner pool size; <= 0 selects GOMAXPROCS. The
+	// result is byte-identical for every value.
+	Workers int
+	// Quality resolves transaction counts left at zero.
+	Quality Quality
+	// Progress, when non-nil, receives (done, total) after every cell;
+	// calls are serialized.
+	Progress func(done, total int)
+}
+
+// Run validates the spec, expands the grid and executes every cell on
+// the worker pool. Cells are independent units — each builds its own
+// simulator instance(s) with a deterministic seed — so results are
+// collected in enumeration order and identical at any worker count.
+func (s *Spec) Run(ctx context.Context, opt RunOptions) (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	cells, err := runner.Map(ctx, s.Cells(),
+		runner.Options{Workers: opt.Workers, Progress: opt.Progress},
+		func(_ context.Context, _ int, c Cell) (CellResult, error) {
+			return s.runCell(c, opt.Quality)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Spec: s, Cells: cells}, nil
+}
+
+// cellSeed resolves the seed a cell builds its instances from.
+func (s *Spec) cellSeed(cfg *Config, index int) {
+	base := cfg.Opt.Seed
+	if base == 0 {
+		base = s.Seed
+	}
+	if s.SeedMode == SeedFixed {
+		cfg.Opt.Seed = base
+		return
+	}
+	if base == 0 {
+		base = 1
+	}
+	cfg.Opt.Seed = runner.Seed(base, index)
+}
+
+// runCell measures every probe of one cell.
+func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
+	res := CellResult{Cell: c}
+	var shared *sysconf.Instance
+	if s.SharedInstance {
+		cfg, err := resolveConfig(c.KV)
+		if err != nil {
+			return res, err
+		}
+		s.cellSeed(&cfg, c.Index)
+		shared, err = buildInstance(cfg)
+		if err != nil {
+			return res, err
+		}
+	}
+	for pi, p := range s.probes() {
+		kv := s.mergedKV(c.KV, p.Set)
+		cfg, err := resolveConfig(kv)
+		if err != nil {
+			return res, err
+		}
+		s.cellSeed(&cfg, c.Index)
+		metric := metricFor(p, cfg.Bench)
+		if cfg.Params.Transactions == 0 {
+			cfg.Params.Transactions = q.Transactions(cfg.Bench, metric)
+		}
+		wantCDF := metric == MetricCDF
+
+		m, err := measure(cfg, shared, wantCDF)
+		if err != nil {
+			return res, fmt.Errorf("sweep: %s cell %d probe %d: %w", s.Name, c.Index, pi, err)
+		}
+		value := m.Value(metric)
+		if s.Contrast != nil {
+			pcfg, err := resolveConfig(s.mergedKV(kv, s.Contrast.Set))
+			if err != nil {
+				return res, err
+			}
+			s.cellSeed(&pcfg, c.Index)
+			if pcfg.Params.Transactions == 0 {
+				pcfg.Params.Transactions = q.Transactions(pcfg.Bench, metric)
+			}
+			pm, err := measure(pcfg, nil, wantCDF)
+			if err != nil {
+				return res, fmt.Errorf("sweep: %s cell %d probe %d contrast: %w", s.Name, c.Index, pi, err)
+			}
+			base, pert := value, pm.Value(metric)
+			if s.Contrast.Reduce == "delta" {
+				value = pert - base
+			} else {
+				value = 100 * (pert - base) / base
+			}
+			m = pm
+		}
+		res.Meas = append(res.Meas, m)
+		res.Values = append(res.Values, value)
+	}
+	return res, nil
+}
+
+// buildInstance assembles the configured system.
+func buildInstance(cfg Config) (*sysconf.Instance, error) {
+	sys, err := sysconf.ByName(cfg.System)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Build(cfg.Opt)
+}
+
+// measure runs one benchmark. A non-nil shared instance is reused
+// (probe order is then the simulation order); otherwise the probe
+// builds its own fresh instance, like the paper's per-point runs.
+func measure(cfg Config, shared *sysconf.Instance, wantCDF bool) (Measurement, error) {
+	inst := shared
+	if inst == nil {
+		var err error
+		inst, err = buildInstance(cfg)
+		if err != nil {
+			return Measurement{}, err
+		}
+	}
+
+	if cfg.Bench == BenchLoopback {
+		return measureLoopback(inst, cfg)
+	}
+
+	tgt := inst.Target()
+	switch cfg.Bench {
+	case BenchLatRd, BenchLatWrRd:
+		run := bench.LatRd
+		if cfg.Bench == BenchLatWrRd {
+			run = bench.LatWrRd
+		}
+		out, err := run(tgt, cfg.Params)
+		if err != nil {
+			return Measurement{}, err
+		}
+		m := Measurement{Median: out.Summary.Median, Summary: out.Summary}
+		if wantCDF {
+			cdf, err := out.CDF()
+			if err != nil {
+				return Measurement{}, err
+			}
+			m.CDF = cdf
+		}
+		return m, nil
+	default:
+		run := bench.BwRd
+		switch cfg.Bench {
+		case BenchBwWr:
+			run = bench.BwWr
+		case BenchBwRdWr:
+			run = bench.BwRdWr
+		}
+		out, err := run(tgt, cfg.Params)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{Gbps: out.Gbps}, nil
+	}
+}
+
+// measureLoopback replays the paper's Figure 2 setup: an ExaNIC-style
+// loopback with the RX ring hot in a polling application.
+func measureLoopback(inst *sysconf.Instance, cfg Config) (Measurement, error) {
+	inst.Buffer.WarmHost(0, 64<<10)
+	samples, err := nicsim.Loopback(inst.RC, nicsim.DefaultLoopback(),
+		inst.Buffer.DMAAddr(0), cfg.Params.TransferSize, cfg.Params.Transactions)
+	if err != nil {
+		return Measurement{}, err
+	}
+	med, frac := nicsim.MedianLoopback(samples)
+	return Measurement{Median: med.Nanoseconds(), Frac: frac}, nil
+}

@@ -1,0 +1,644 @@
+// Package sweep is the declarative parameter-sweep engine behind every
+// figure and table of the reproduction.
+//
+// The paper's contribution is a methodology: pcie-bench sweeps transfer
+// size x window x offset x cache state x NUMA node x IOMMU state across
+// host/NIC combinations. A Spec captures one such sweep as data — named
+// axes over sysconf.Options and bench.Params (system, benchmark kind,
+// link generation/lanes/MPS/MRRS, cache state, NUMA node, IOMMU,
+// transfer/window/offset, ...) — which the engine expands into a grid
+// of cells, executes on the internal/runner worker pool with
+// deterministic seeds, and renders through pluggable emitters (aligned
+// table, gnuplot TSV, JSON, CSV).
+//
+// Specs are plain JSON-serializable values: the registered paper
+// figures are Specs (see internal/report), and entirely new grids —
+// Gen4/Gen5 links, hypothetical NIC what-ifs, custom cache/NUMA
+// matrices — run from a JSON file or axis-override strings without any
+// Go code.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/pcie"
+	"pciebench/internal/sysconf"
+)
+
+// Benchmark kinds a cell can run. The five pcie-bench names follow
+// paper §4; loopback is the ExaNIC-style round trip of §2 (Figure 2).
+const (
+	BenchLatRd    = "lat_rd"
+	BenchLatWrRd  = "lat_wrrd"
+	BenchBwRd     = "bw_rd"
+	BenchBwWr     = "bw_wr"
+	BenchBwRdWr   = "bw_rdwr"
+	BenchLoopback = "loopback"
+)
+
+// Probe metrics.
+const (
+	MetricMedian = "median" // median latency in ns
+	MetricGbps   = "gbps"   // per-direction payload bandwidth
+	MetricFrac   = "frac"   // PCIe fraction of the loopback round trip
+	MetricCDF    = "cdf"    // full latency distribution (median in Values)
+)
+
+// Seed modes.
+const (
+	// SeedPerCell derives a decorrelated seed per cell from the base
+	// seed and the cell index (the default): every cell is an
+	// independent experiment, reproducible at any worker count.
+	SeedPerCell = "per-cell"
+	// SeedFixed builds every cell from the same base seed, like the
+	// paper figures which rebuild one calibrated instance per point.
+	SeedFixed = "fixed"
+)
+
+// Axis is one named dimension of a sweep grid. Values are strings so
+// axes round-trip through JSON and CLI overrides; they are parsed
+// according to the axis name (sizes accept K/M/G suffixes, booleans
+// accept true/false/on/off/1/0).
+type Axis struct {
+	Name   string   `json:"name"`
+	Values []string `json:"values"`
+}
+
+// IntAxis builds an axis over integer values.
+func IntAxis(name string, values ...int) Axis {
+	a := Axis{Name: name}
+	for _, v := range values {
+		a.Values = append(a.Values, strconv.Itoa(v))
+	}
+	return a
+}
+
+// StrAxis builds an axis over string values.
+func StrAxis(name string, values ...string) Axis {
+	return Axis{Name: name, Values: values}
+}
+
+// Probe is one measurement taken per cell: parameter overrides applied
+// on top of the cell's assignment, and the metric to extract. A spec
+// with no probes measures the cell itself once.
+type Probe struct {
+	// Label names the probe's column in emitted grids; defaults to
+	// "<bench>:<metric>".
+	Label string `json:"label,omitempty"`
+	// Set overrides cell parameters for this probe (same keys as axes).
+	Set map[string]string `json:"set,omitempty"`
+	// Metric selects the extracted value: median, gbps, frac or cdf.
+	// Defaults by benchmark kind (latency -> median, bandwidth -> gbps,
+	// loopback -> median).
+	Metric string `json:"metric,omitempty"`
+}
+
+// Contrast turns a sweep into a differential experiment: every probe
+// runs once as configured (baseline) and once with Set applied
+// (perturbed), and the cell value is the reduction of the two — the
+// shape of the paper's NUMA (Fig 8) and IOMMU (Fig 9) experiments.
+type Contrast struct {
+	// Label names the perturbation in emitted grids.
+	Label string `json:"label,omitempty"`
+	// Set is the perturbed configuration delta (e.g. {"node": "1"} or
+	// {"iommu": "true"}).
+	Set map[string]string `json:"set"`
+	// Reduce combines baseline and perturbed values: "pct_delta"
+	// (default, 100*(perturbed-base)/base) or "delta" (perturbed-base).
+	Reduce string `json:"reduce,omitempty"`
+}
+
+// Spec is one declarative sweep: a named grid of cells with the
+// measurements to take in each.
+type Spec struct {
+	Name        string `json:"name"`
+	Title       string `json:"title,omitempty"`
+	Description string `json:"description,omitempty"`
+
+	// XAxis names the axis emitters treat as the x coordinate;
+	// XLabel/YLabel annotate rendered output.
+	XAxis  string `json:"x_axis,omitempty"`
+	XLabel string `json:"x_label,omitempty"`
+	YLabel string `json:"y_label,omitempty"`
+
+	// Axes span the grid; cells enumerate in cross-product order with
+	// the first axis outermost.
+	Axes []Axis `json:"axes"`
+	// Base holds cell parameters common to the whole grid (same keys
+	// as axes); axis values override base, probe sets override both.
+	Base map[string]string `json:"base,omitempty"`
+	// Probes are the per-cell measurements (default: one probe of the
+	// cell itself).
+	Probes []Probe `json:"probes,omitempty"`
+	// SharedInstance runs all probes of a cell against one simulator
+	// instance built from the cell's parameters, in probe order — the
+	// paper's per-point runs that measure several benchmarks on one
+	// freshly booted system (Fig 7). Probe sets may then only change
+	// bench.Params-level keys, not system options.
+	SharedInstance bool `json:"shared_instance,omitempty"`
+	// Contrast, when set, makes every value differential; incompatible
+	// with SharedInstance.
+	Contrast *Contrast `json:"contrast,omitempty"`
+
+	// SeedMode is SeedPerCell (default) or SeedFixed; Seed is the base
+	// seed (a "seed" key in Base or an axis overrides it; 0 means 1).
+	SeedMode string `json:"seed_mode,omitempty"`
+	Seed     int64  `json:"seed,omitempty"`
+}
+
+// Cell is one fully resolved grid point.
+type Cell struct {
+	// Index is the cell's position in cross-product enumeration order;
+	// per-cell seeds and result slots derive from it.
+	Index int
+	// Coord holds the cell's axis values, aligned with Spec.Axes.
+	Coord []string
+	// KV is the merged parameter assignment (base plus axis values).
+	KV map[string]string
+}
+
+// Get returns the cell's value for a parameter (axis or base key).
+func (c Cell) Get(key string) string { return c.KV[key] }
+
+// Int returns the cell's value parsed as a size (K/M/G suffixes
+// allowed); 0 when absent or unparsable (expansion validates values,
+// so figure-assembly callers need no error path).
+func (c Cell) Int(key string) int {
+	v, err := ParseSize(c.KV[key])
+	if err != nil {
+		return 0
+	}
+	return v
+}
+
+// Config is a cell's resolved execution configuration.
+type Config struct {
+	System string
+	Bench  string
+	Params bench.Params
+	Opt    sysconf.Options
+}
+
+// ParseSize parses an integer with an optional K/M/G binary suffix
+// ("8K" -> 8192).
+func ParseSize(s string) (int, error) {
+	s = strings.TrimSpace(strings.ToUpper(s))
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "G"):
+		mult, s = 1<<30, strings.TrimSuffix(s, "G")
+	case strings.HasSuffix(s, "M"):
+		mult, s = 1<<20, strings.TrimSuffix(s, "M")
+	case strings.HasSuffix(s, "K"):
+		mult, s = 1<<10, strings.TrimSuffix(s, "K")
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("sweep: bad size %q", s)
+	}
+	return v * mult, nil
+}
+
+func parseBool(s string) (bool, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "true", "on", "1", "yes":
+		return true, nil
+	case "false", "off", "0", "no":
+		return false, nil
+	}
+	return false, fmt.Errorf("sweep: bad boolean %q", s)
+}
+
+// knownKeys lists every parameter a cell assignment may set, for
+// override validation and error messages.
+var knownKeys = []string{
+	"bench", "buffer", "cache", "direct", "gen", "iommu", "lanes",
+	"mps", "mrrs", "n", "node", "nojitter", "offset", "pattern",
+	"seed", "sp", "system", "transfer", "warmup", "window",
+}
+
+func isKnownKey(k string) bool {
+	for _, known := range knownKeys {
+		if k == known {
+			return true
+		}
+	}
+	return false
+}
+
+// optLevelKeys are the parameters that change how a simulator instance
+// is built (sysconf.Options and the link), as opposed to the
+// bench.Params of a run. Probe sets under SharedInstance may not touch
+// them: the shared instance is built once from the cell assignment.
+var optLevelKeys = map[string]bool{
+	"system": true, "seed": true, "buffer": true, "node": true,
+	"iommu": true, "sp": true, "nojitter": true,
+	"gen": true, "lanes": true, "mps": true, "mrrs": true,
+}
+
+// resolveConfig turns a merged key/value assignment into an executable
+// configuration. Link-level keys (gen, lanes, mps, mrrs) modify a copy
+// of the paper's default Gen3 x8 link; when none is present the
+// instance keeps its built-in default.
+func resolveConfig(kv map[string]string) (Config, error) {
+	cfg := Config{System: "NFP6000-HSW", Bench: BenchLatRd}
+	var link *pcie.LinkConfig
+	ensureLink := func() *pcie.LinkConfig {
+		if link == nil {
+			l := pcie.DefaultGen3x8()
+			link = &l
+		}
+		return link
+	}
+
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := kv[k]
+		var err error
+		switch k {
+		case "system":
+			cfg.System = v
+		case "bench":
+			switch strings.ToLower(v) {
+			case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback:
+				cfg.Bench = strings.ToLower(v)
+			default:
+				err = fmt.Errorf("unknown benchmark %q", v)
+			}
+		case "window":
+			cfg.Params.WindowSize, err = ParseSize(v)
+		case "transfer":
+			cfg.Params.TransferSize, err = ParseSize(v)
+		case "offset":
+			cfg.Params.Offset, err = ParseSize(v)
+		case "n":
+			cfg.Params.Transactions, err = ParseSize(v)
+		case "warmup":
+			cfg.Params.Warmup, err = ParseSize(v)
+		case "pattern":
+			switch strings.ToLower(v) {
+			case "rand":
+				cfg.Params.Pattern = bench.Random
+			case "seq":
+				cfg.Params.Pattern = bench.Sequential
+			default:
+				err = fmt.Errorf("unknown pattern %q", v)
+			}
+		case "cache":
+			switch strings.ToLower(v) {
+			case "cold":
+				cfg.Params.Cache = bench.Cold
+			case "warm":
+				cfg.Params.Cache = bench.HostWarm
+			case "devwarm":
+				cfg.Params.Cache = bench.DeviceWarm
+			default:
+				err = fmt.Errorf("unknown cache state %q", v)
+			}
+		case "direct":
+			cfg.Params.Direct, err = parseBool(v)
+		case "node":
+			cfg.Opt.BufferNode, err = ParseSize(v)
+		case "iommu":
+			cfg.Opt.IOMMU, err = parseBool(v)
+		case "sp":
+			cfg.Opt.SuperPages, err = parseBool(v)
+		case "nojitter":
+			cfg.Opt.NoJitter, err = parseBool(v)
+		case "buffer":
+			cfg.Opt.BufferSize, err = ParseSize(v)
+		case "seed":
+			var n int
+			n, err = ParseSize(v)
+			cfg.Opt.Seed = int64(n)
+		case "gen":
+			var n int
+			if n, err = ParseSize(v); err == nil {
+				ensureLink().Gen = pcie.Generation(n)
+			}
+		case "lanes":
+			var n int
+			if n, err = ParseSize(v); err == nil {
+				ensureLink().Lanes = n
+			}
+		case "mps":
+			var n int
+			if n, err = ParseSize(v); err == nil {
+				ensureLink().MPS = n
+			}
+		case "mrrs":
+			var n int
+			if n, err = ParseSize(v); err == nil {
+				ensureLink().MRRS = n
+			}
+		default:
+			err = fmt.Errorf("unknown parameter (known: %s)", strings.Join(knownKeys, " "))
+		}
+		if err != nil {
+			return Config{}, fmt.Errorf("sweep: %s=%q: %w", k, v, err)
+		}
+	}
+	if link != nil {
+		if err := link.Validate(); err != nil {
+			return Config{}, fmt.Errorf("sweep: link: %w", err)
+		}
+		cfg.Opt.Link = link
+	}
+	if _, err := sysconf.ByName(cfg.System); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Count returns how many cells the grid expands to.
+func (s *Spec) Count() int {
+	n := 1
+	for _, a := range s.Axes {
+		n *= len(a.Values)
+	}
+	return n
+}
+
+// Cells expands the grid into its deterministic enumeration order: the
+// cross product of the axes with the first axis outermost.
+func (s *Spec) Cells() []Cell {
+	cells := make([]Cell, 0, s.Count())
+	coord := make([]string, len(s.Axes))
+	var expand func(depth int)
+	expand = func(depth int) {
+		if depth == len(s.Axes) {
+			kv := make(map[string]string, len(s.Base)+len(coord))
+			for k, v := range s.Base {
+				kv[k] = v
+			}
+			for i, a := range s.Axes {
+				kv[a.Name] = coord[i]
+			}
+			cells = append(cells, Cell{
+				Index: len(cells),
+				Coord: append([]string(nil), coord...),
+				KV:    kv,
+			})
+			return
+		}
+		for _, v := range s.Axes[depth].Values {
+			coord[depth] = v
+			expand(depth + 1)
+		}
+	}
+	expand(0)
+	return cells
+}
+
+// probes returns the effective probe list (one default probe when none
+// is declared).
+func (s *Spec) probes() []Probe {
+	if len(s.Probes) > 0 {
+		return s.Probes
+	}
+	return []Probe{{}}
+}
+
+// metricFor resolves a probe's metric for a benchmark kind.
+func metricFor(p Probe, benchKind string) string {
+	if p.Metric != "" {
+		return p.Metric
+	}
+	switch benchKind {
+	case BenchBwRd, BenchBwWr, BenchBwRdWr:
+		return MetricGbps
+	default:
+		return MetricMedian
+	}
+}
+
+// ProbeLabels returns one unique column label per probe.
+func (s *Spec) ProbeLabels() []string {
+	probes := s.probes()
+	labels := make([]string, len(probes))
+	seen := map[string]int{}
+	for i, p := range probes {
+		label := p.Label
+		if label == "" {
+			kv := s.mergedKV(nil, p.Set)
+			switch kind, ok := kv["bench"]; {
+			case ok:
+				label = kind + ":" + metricFor(p, kind)
+			case s.axis("bench") != nil:
+				// The benchmark varies per cell; no single kind names
+				// the column.
+				label = "value"
+			default:
+				label = BenchLatRd + ":" + metricFor(p, BenchLatRd)
+			}
+		}
+		if n := seen[label]; n > 0 {
+			labels[i] = fmt.Sprintf("%s#%d", label, n+1)
+		} else {
+			labels[i] = label
+		}
+		seen[label]++
+	}
+	return labels
+}
+
+// mergedKV layers base, an optional cell assignment and an optional
+// probe/contrast set (later wins).
+func (s *Spec) mergedKV(cell map[string]string, set map[string]string) map[string]string {
+	kv := make(map[string]string, len(s.Base)+len(cell)+len(set))
+	for k, v := range s.Base {
+		kv[k] = v
+	}
+	for k, v := range cell {
+		kv[k] = v
+	}
+	for k, v := range set {
+		kv[k] = v
+	}
+	return kv
+}
+
+// Validate checks the whole grid: axis shape, key names, every cell's
+// (and probe's, and contrast's) resolved configuration, metrics and
+// reduction. A valid spec cannot fail cell resolution at run time.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("sweep: spec needs a name")
+	}
+	if len(s.Axes) == 0 {
+		return fmt.Errorf("sweep: spec %q has no axes", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, a := range s.Axes {
+		if a.Name == "" || len(a.Values) == 0 {
+			return fmt.Errorf("sweep: spec %q: axis %q needs a name and values", s.Name, a.Name)
+		}
+		if !isKnownKey(a.Name) {
+			return fmt.Errorf("sweep: spec %q: axis %q: unknown parameter (known: %s)",
+				s.Name, a.Name, strings.Join(knownKeys, " "))
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("sweep: spec %q: duplicate axis %q", s.Name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for k := range s.Base {
+		if !isKnownKey(k) {
+			return fmt.Errorf("sweep: spec %q: base key %q: unknown parameter (known: %s)",
+				s.Name, k, strings.Join(knownKeys, " "))
+		}
+	}
+	switch s.SeedMode {
+	case "", SeedPerCell, SeedFixed:
+	default:
+		return fmt.Errorf("sweep: spec %q: seed_mode must be %q or %q", s.Name, SeedPerCell, SeedFixed)
+	}
+	if s.Contrast != nil {
+		if s.SharedInstance {
+			return fmt.Errorf("sweep: spec %q: contrast and shared_instance are incompatible", s.Name)
+		}
+		if len(s.Contrast.Set) == 0 {
+			return fmt.Errorf("sweep: spec %q: contrast needs a non-empty set", s.Name)
+		}
+		if _, ok := s.Contrast.Set["bench"]; ok {
+			// A contrast perturbs the system under a fixed measurement;
+			// comparing different benchmarks' metrics is meaningless —
+			// use separate probes instead.
+			return fmt.Errorf("sweep: spec %q: contrast may not change \"bench\"", s.Name)
+		}
+		switch s.Contrast.Reduce {
+		case "", "pct_delta", "delta":
+		default:
+			return fmt.Errorf("sweep: spec %q: unknown reduce %q", s.Name, s.Contrast.Reduce)
+		}
+	}
+	for _, p := range s.probes() {
+		switch p.Metric {
+		case "", MetricMedian, MetricGbps, MetricFrac, MetricCDF:
+		default:
+			return fmt.Errorf("sweep: spec %q: unknown metric %q", s.Name, p.Metric)
+		}
+		if s.SharedInstance {
+			for k := range p.Set {
+				if optLevelKeys[k] {
+					return fmt.Errorf("sweep: spec %q: probe set key %q rebuilds the instance; shared_instance probes may only change benchmark parameters", s.Name, k)
+				}
+			}
+		}
+	}
+	for _, c := range s.Cells() {
+		for pi, p := range s.probes() {
+			kv := s.mergedKV(c.KV, p.Set)
+			if _, err := resolveConfig(kv); err != nil {
+				return fmt.Errorf("sweep: spec %q cell %d probe %d: %w", s.Name, c.Index, pi, err)
+			}
+			if s.Contrast != nil {
+				if _, err := resolveConfig(s.mergedKV(kv, s.Contrast.Set)); err != nil {
+					return fmt.Errorf("sweep: spec %q cell %d probe %d contrast: %w", s.Name, c.Index, pi, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy, so overrides never mutate registered
+// specs.
+func (s *Spec) Clone() *Spec {
+	c := *s
+	c.Axes = make([]Axis, len(s.Axes))
+	for i, a := range s.Axes {
+		c.Axes[i] = Axis{Name: a.Name, Values: append([]string(nil), a.Values...)}
+	}
+	c.Base = cloneMap(s.Base)
+	c.Probes = make([]Probe, len(s.Probes))
+	for i, p := range s.Probes {
+		c.Probes[i] = Probe{Label: p.Label, Set: cloneMap(p.Set), Metric: p.Metric}
+	}
+	if s.Contrast != nil {
+		cc := *s.Contrast
+		cc.Set = cloneMap(s.Contrast.Set)
+		c.Contrast = &cc
+	}
+	return &c
+}
+
+func cloneMap(m map[string]string) map[string]string {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ApplyOverrides adjusts the spec from CLI "name=v1,v2,..." arguments:
+// an existing axis has its values replaced; a multi-value override on a
+// non-axis key adds a new (innermost) axis; a single value sets a base
+// parameter. Applied in argument order on the receiver.
+func (s *Spec) ApplyOverrides(args []string) error {
+	for _, arg := range args {
+		name, vals, ok := strings.Cut(arg, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" || strings.TrimSpace(vals) == "" {
+			return fmt.Errorf("sweep: bad override %q (want name=v1,v2,...)", arg)
+		}
+		if !isKnownKey(name) {
+			return fmt.Errorf("sweep: override %q: unknown parameter (known: %s)",
+				name, strings.Join(knownKeys, " "))
+		}
+		values := strings.Split(vals, ",")
+		for i := range values {
+			values[i] = strings.TrimSpace(values[i])
+		}
+		if ax := s.axis(name); ax != nil {
+			ax.Values = values
+			continue
+		}
+		if len(values) > 1 {
+			s.Axes = append(s.Axes, Axis{Name: name, Values: values})
+			continue
+		}
+		if s.Base == nil {
+			s.Base = map[string]string{}
+		}
+		s.Base[name] = values[0]
+	}
+	return nil
+}
+
+func (s *Spec) axis(name string) *Axis {
+	for i := range s.Axes {
+		if s.Axes[i].Name == name {
+			return &s.Axes[i]
+		}
+	}
+	return nil
+}
+
+// Decode reads a Spec from JSON, rejecting unknown fields so typos in
+// hand-written spec files fail loudly.
+func Decode(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("sweep: decode spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
