@@ -21,6 +21,7 @@ import (
 	"pciebench/internal/sim"
 	"pciebench/internal/sysconf"
 	"pciebench/internal/tlp"
+	"pciebench/internal/workload"
 )
 
 // mustBuild assembles a system or fails the benchmark.
@@ -352,6 +353,46 @@ func BenchmarkAblation_DDIOWays(b *testing.B) {
 	}
 	b.ReportMetric(narrow, "ns-2ways")
 	b.ReportMetric(wide, "ns-16ways")
+}
+
+// ---- Traffic-engine benchmarks (internal/workload) ----
+
+// benchWorkload drives one traffic-engine scenario per iteration and
+// reports the aggregate packet rate and the p99.9 completion latency.
+func benchWorkload(b *testing.B, cfg workload.Config, pairs int) {
+	var pps, p999 float64
+	for i := 0; i < b.N; i++ {
+		inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 4 << 20, NoJitter: true})
+		inst.Buffer.WarmHost(0, cfg.Footprint())
+		res, err := workload.Run(inst.Kernel, inst.RC, inst.Buffer.DMAAddr(0), cfg, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps, p999 = res.PPS, res.Latency.P999
+	}
+	b.ReportMetric(pps/1e6, "Mpps")
+	b.ReportMetric(p999, "ns-p99.9")
+}
+
+// BenchmarkWorkload_MultiQueueIMIX saturates four queue pairs with
+// IMIX traffic under the kernel-driver design.
+func BenchmarkWorkload_MultiQueueIMIX(b *testing.B) {
+	benchWorkload(b, workload.Config{
+		Queues: 4, Window: 16, Sizes: workload.IMIX(), Seed: 37,
+	}, 4000)
+}
+
+// BenchmarkWorkload_PoissonBursts offers 4Mpps of IMIX in 64-packet
+// Poisson bursts across four queues: the open-loop path with software
+// queueing, where the latency tail lives.
+func BenchmarkWorkload_PoissonBursts(b *testing.B) {
+	arr, err := workload.Poisson(4e6, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchWorkload(b, workload.Config{
+		Queues: 4, Window: 8, Sizes: workload.IMIX(), Arrival: arr, Seed: 37,
+	}, 4000)
 }
 
 // ---- Hot-path micro-benchmarks ----

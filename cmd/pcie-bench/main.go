@@ -10,6 +10,7 @@
 //	pcie-bench -system NFP6000-BDW -bench bw_rd -transfer 64 -window 16M -iommu
 //	pcie-bench -system NFP6000-HSW-E3 -bench lat_rd -n 100000 -cdf
 //	pcie-bench -system NFP6000-HSW -bench bw_rdwr -json
+//	pcie-bench -bench workload -queues 4 -sizes imix -arrival poisson:4M:burst=64
 //	pcie-bench -suite -parallel 8
 //	pcie-bench -sweeps
 //	pcie-bench -run fig9 transfer=64 mps=512
@@ -24,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 
 	"pciebench/internal/bench"
@@ -31,6 +33,7 @@ import (
 	"pciebench/internal/stats"
 	"pciebench/internal/sweep"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/workload"
 )
 
 func main() {
@@ -52,10 +55,11 @@ type benchResult struct {
 	Adapter string `json:"adapter"`
 	Params  string `json:"params"`
 	// Latency benchmarks fill Latency; bandwidth benchmarks fill
-	// Gbps/TxnPerSec.
-	Latency   *stats.Summary `json:"latency_ns,omitempty"`
-	Gbps      float64        `json:"gbps,omitempty"`
-	TxnPerSec float64        `json:"txn_per_sec,omitempty"`
+	// Gbps/TxnPerSec; the workload engine fills Workload.
+	Latency   *stats.Summary   `json:"latency_ns,omitempty"`
+	Gbps      float64          `json:"gbps,omitempty"`
+	TxnPerSec float64          `json:"txn_per_sec,omitempty"`
+	Workload  *workload.Result `json:"workload,omitempty"`
 }
 
 // run is the testable entry point.
@@ -65,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	var (
 		list     = fs.Bool("list", false, "list systems and exit")
 		system   = fs.String("system", "NFP6000-HSW", "system under test (see -list)")
-		benchSel = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr")
+		benchSel = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr|workload")
 		window   = fs.String("window", "8K", "window size (supports K/M/G suffixes)")
 		transfer = fs.Int("transfer", 64, "transfer size in bytes")
 		offset   = fs.Int("offset", 0, "offset from cache line start")
@@ -86,6 +90,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
 		format   = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
 		full     = fs.Bool("full", false, "paper-scale sample counts for sweeps (slower)")
+
+		// Traffic-engine knobs (-bench workload).
+		queues   = fs.Int("queues", 1, "workload: RX/TX queue pairs")
+		flows    = fs.Int("flows", workload.DefaultFlows, "workload: simulated flow population spread over the queues")
+		inflight = fs.Int("inflight", workload.DefaultWindow, "workload: per-queue in-flight packet-pair window")
+		sizes    = fs.String("sizes", "1500", "workload: frame sizes (a size, imix, uniform:lo-hi or hist:size=weight,...)")
+		arrival  = fs.String("arrival", "saturate", "workload: arrivals (saturate, rate:<pps> or poisson:<pps>[:burst=<n>])")
+		nicSel   = fs.String("nic", "kernel", "workload: NIC/driver design (simple|kernel|dpdk)")
+		intrmod  = fs.String("intrmod", "", "workload: interrupt moderation (packets per interrupt, or poll)")
+		doorbell = fs.Int("doorbell", 0, "workload: doorbell batch override (0 = design default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -206,10 +220,61 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Bench: *benchSel, System: sys.Name,
 		Adapter: sys.Adapter.String(), Params: p.String(),
 	}
-	if !*jsonOut {
+	if !*jsonOut && *benchSel != "workload" {
 		fmt.Fprintf(stdout, "# %s on %s (%s): %s\n", *benchSel, sys.Name, sys.Adapter, p)
 	}
 	switch *benchSel {
+	case "workload":
+		dist, err := workload.ParseSizeDist(*sizes)
+		if err != nil {
+			return err
+		}
+		arr, err := workload.ParseArrival(*arrival)
+		if err != nil {
+			return err
+		}
+		design, err := workload.DesignByName(*nicSel)
+		if err != nil {
+			return err
+		}
+		mod := workload.Moderation{DoorbellBatch: *doorbell}
+		switch *intrmod {
+		case "":
+		case "poll":
+			mod.IntrEvery = -1
+		default:
+			v, err := strconv.Atoi(*intrmod)
+			if err != nil || v < 1 {
+				return fmt.Errorf("bad -intrmod %q (want a packet count or poll)", *intrmod)
+			}
+			mod.IntrEvery = v
+		}
+		cfg := workload.Config{
+			Queues: *queues, Flows: *flows, Window: *inflight,
+			Design: design, Sizes: dist, Arrival: arr,
+			Moderation: mod, Seed: *seed,
+			BufferBytes: inst.Buffer.Size,
+		}.WithDefaults()
+		out.Params = fmt.Sprintf("queues=%d flows=%d inflight=%d sizes=%s arrival=%s nic=%s n=%d",
+			cfg.Queues, cfg.Flows, cfg.Window, dist, arr, *nicSel, *n)
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "# workload on %s (%s): %s\n", sys.Name, sys.Adapter, out.Params)
+		}
+		inst.Buffer.WarmHost(0, cfg.Footprint())
+		res, err := workload.Run(inst.Kernel, inst.RC, inst.Buffer.DMAAddr(0), cfg, *n)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			out.Workload = res
+			break
+		}
+		fmt.Fprintf(stdout, "WORKLOAD %.3fM pps  %.3f Gb/s/dir  p50 %.0fns  p99 %.0fns  p99.9 %.0fns  elapsed %v\n",
+			res.PPS/1e6, res.GbpsPerDirection, res.Latency.Median, res.Latency.P99, res.Latency.P999, res.Elapsed)
+		for _, q := range res.Queues {
+			fmt.Fprintf(stdout, "  q%-3d %7d pairs  %8.3fM pps  %7.3f Gb/s  p50 %.0fns  p99 %.0fns\n",
+				q.Queue, q.Pairs, q.PPS/1e6, q.Gbps, q.Latency.Median, q.Latency.P99)
+		}
 	case "lat_rd", "lat_wrrd":
 		run := bench.LatRd
 		if *benchSel == "lat_wrrd" {

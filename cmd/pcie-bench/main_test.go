@@ -76,6 +76,49 @@ func TestSingleBenchText(t *testing.T) {
 	}
 }
 
+func TestWorkloadBench(t *testing.T) {
+	out, err := runCLI(t, "-bench", "workload", "-queues", "2", "-sizes", "imix",
+		"-arrival", "rate:2M", "-n", "400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WORKLOAD", "p99.9", "q0", "q1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("workload output missing %q:\n%s", want, out)
+		}
+	}
+
+	out, err = runCLI(t, "-bench", "workload", "-nic", "dpdk", "-sizes", "64", "-n", "300", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("workload -json output not JSON: %v\n%s", err, out)
+	}
+	if res.Workload == nil || res.Workload.PPS <= 0 || len(res.Workload.Queues) != 1 {
+		t.Errorf("workload result = %+v", res.Workload)
+	}
+	if res.Workload.Latency.P999 < res.Workload.Latency.Median {
+		t.Errorf("percentiles inverted: %+v", res.Workload.Latency)
+	}
+}
+
+func TestWorkloadBenchErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "workload", "-sizes", "bogus"},
+		{"-bench", "workload", "-arrival", "drizzle:1M"},
+		{"-bench", "workload", "-nic", "exotic"},
+		{"-bench", "workload", "-intrmod", "sometimes"},
+		{"-bench", "workload", "-n", "0"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}
+
 func TestRunRegisteredSweep(t *testing.T) {
 	out, err := runCLI(t, "-run", "table2-ddio", "-format", "tsv", "n=50")
 	if err != nil {

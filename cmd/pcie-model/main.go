@@ -10,8 +10,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,16 +23,36 @@ import (
 )
 
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcie-model:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, evaluates the
+// selected closed-form curves and writes the TSV to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcie-model", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		gen     = flag.Int("gen", 3, "PCIe generation (1..5)")
-		lanes   = flag.Int("lanes", 8, "lane count (1,2,4,8,16,32)")
-		mps     = flag.Int("mps", 256, "maximum payload size")
-		mrrs    = flag.Int("mrrs", 512, "maximum read request size")
-		nic     = flag.String("nic", "all", "curve: effective|read|write|simple|kernel|dpdk|all")
-		sizes   = flag.String("sizes", "", "comma-separated transfer sizes (default 64..1520 step 16)")
-		ethGbps = flag.Float64("eth", 40, "Ethernet reference line rate in Gb/s (0 = omit)")
+		gen     = fs.Int("gen", 3, "PCIe generation (1..5)")
+		lanes   = fs.Int("lanes", 8, "lane count (1,2,4,8,16,32)")
+		mps     = fs.Int("mps", 256, "maximum payload size")
+		mrrs    = fs.Int("mrrs", 512, "maximum read request size")
+		nic     = fs.String("nic", "all", "curve: effective|read|write|simple|kernel|dpdk|all")
+		sizes   = fs.String("sizes", "", "comma-separated transfer sizes (default 64..1520 step 16)")
+		ethGbps = fs.Float64("eth", 40, "Ethernet reference line rate in Gb/s (0 = omit)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
 
 	cfg := pcie.DefaultGen3x8()
 	cfg.Gen = pcie.Generation(*gen)
@@ -38,8 +60,7 @@ func main() {
 	cfg.MPS = *mps
 	cfg.MRRS = *mrrs
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "pcie-model:", err)
-		os.Exit(1)
+		return err
 	}
 
 	var szList []int
@@ -51,8 +72,7 @@ func main() {
 		for _, f := range strings.Split(*sizes, ",") {
 			v, err := strconv.Atoi(strings.TrimSpace(f))
 			if err != nil || v <= 0 {
-				fmt.Fprintf(os.Stderr, "pcie-model: bad size %q\n", f)
-				os.Exit(1)
+				return fmt.Errorf("bad size %q", f)
 			}
 			szList = append(szList, v)
 		}
@@ -82,28 +102,28 @@ func main() {
 			}
 		}
 		if selected == nil {
-			fmt.Fprintf(os.Stderr, "pcie-model: unknown curve %q\n", *nic)
-			os.Exit(1)
+			return fmt.Errorf("unknown curve %q", *nic)
 		}
 	}
 
-	fmt.Printf("# link: %s  raw=%.2fGb/s tlp=%.2fGb/s\n", cfg, cfg.RawBandwidth()/1e9, cfg.TLPBandwidth()/1e9)
-	fmt.Printf("# size")
+	fmt.Fprintf(stdout, "# link: %s  raw=%.2fGb/s tlp=%.2fGb/s\n", cfg, cfg.RawBandwidth()/1e9, cfg.TLPBandwidth()/1e9)
+	fmt.Fprintf(stdout, "# size")
 	for _, c := range selected {
-		fmt.Printf("\t%s", c.name)
+		fmt.Fprintf(stdout, "\t%s", c.name)
 	}
 	if *ethGbps > 0 {
-		fmt.Printf("\t%geth", *ethGbps)
+		fmt.Fprintf(stdout, "\t%geth", *ethGbps)
 	}
-	fmt.Println()
+	fmt.Fprintln(stdout)
 	for _, sz := range szList {
-		fmt.Printf("%d", sz)
+		fmt.Fprintf(stdout, "%d", sz)
 		for _, c := range selected {
-			fmt.Printf("\t%.3f", c.fn(sz))
+			fmt.Fprintf(stdout, "\t%.3f", c.fn(sz))
 		}
 		if *ethGbps > 0 {
-			fmt.Printf("\t%.3f", model.EthernetLineRate(*ethGbps*1e9, sz)/1e9)
+			fmt.Fprintf(stdout, "\t%.3f", model.EthernetLineRate(*ethGbps*1e9, sz)/1e9)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
+	return nil
 }

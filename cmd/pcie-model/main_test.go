@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+)
+
+// runCLI invokes the command as the shell would and captures stdout.
+func runCLI(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+func TestHelpIsNotAnError(t *testing.T) {
+	// -h must exit 0: main treats flag.ErrHelp as success.
+	_, err := runCLI(t, "-h")
+	if !errors.Is(err, flag.ErrHelp) {
+		t.Fatalf("-h returned %v, want flag.ErrHelp", err)
+	}
+}
+
+func TestDefaultCurves(t *testing.T) {
+	out, err := runCLI(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# link:") {
+		t.Errorf("missing link header:\n%.200s", out)
+	}
+	header := ""
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "# size") {
+			header = line
+		}
+	}
+	for _, col := range []string{"effective", "read", "write", "simple", "kernel", "dpdk", "40eth"} {
+		if !strings.Contains(header, col) {
+			t.Errorf("header missing %q: %s", col, header)
+		}
+	}
+	// Default sweep is 64..1520 step 16 -> 92 rows after 2 comment lines.
+	rows := 0
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			rows++
+		}
+	}
+	if rows != 92 {
+		t.Errorf("rows = %d, want 92", rows)
+	}
+}
+
+func TestSingleCurveAndSizes(t *testing.T) {
+	out, err := runCLI(t, "-nic", "dpdk", "-sizes", "64,1500", "-eth", "0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# size\tdpdk\n") {
+		t.Errorf("header:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "1500\t") {
+		t.Errorf("last row %q", last)
+	}
+}
+
+func TestGen4Link(t *testing.T) {
+	g3, err := runCLI(t, "-nic", "effective", "-sizes", "1024")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g4, err := runCLI(t, "-nic", "effective", "-sizes", "1024", "-gen", "4", "-lanes", "16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3 == g4 {
+		t.Error("gen/lanes flags had no effect")
+	}
+	if !strings.Contains(g4, "x16") {
+		t.Errorf("link header:\n%s", g4)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bogus-flag"},
+		{"-gen", "9"},
+		{"-lanes", "3"},
+		{"-nic", "quantum"},
+		{"-sizes", "64,zero"},
+		{"-sizes", "-5"},
+		{"stray-arg"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v succeeded, want error", args)
+		}
+	}
+}

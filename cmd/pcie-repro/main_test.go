@@ -21,7 +21,7 @@ func TestListSweeps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"fig2", "fig4", "fig9", "table2-ddio", "cells"} {
+	for _, want := range []string{"fig2", "fig4", "fig9", "table2-ddio", "wl-imix", "wl-burst", "cells"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("-list missing %q:\n%s", want, out)
 		}

@@ -13,8 +13,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"pciebench/internal/bench"
@@ -23,24 +25,54 @@ import (
 )
 
 func main() {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pcie-trace:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the testable entry point: it parses args, runs the traced
+// benchmark and writes the decoded TLP log to stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("pcie-trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		system   = flag.String("system", "NFP6000-HSW", "system under test")
-		benchSel = flag.String("bench", "lat_rd", "lat_rd|lat_wrrd")
-		transfer = flag.Int("transfer", 512, "transfer size in bytes")
-		offset   = flag.Int("offset", 0, "offset from cache line start")
-		n        = flag.Int("n", 2, "transactions to capture")
-		out      = flag.String("out", "", "write the binary journal to this file")
-		limit    = flag.Int("limit", 10000, "max records retained")
+		system   = fs.String("system", "NFP6000-HSW", "system under test")
+		benchSel = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd")
+		transfer = fs.Int("transfer", 512, "transfer size in bytes")
+		offset   = fs.Int("offset", 0, "offset from cache line start")
+		n        = fs.Int("n", 2, "transactions to capture")
+		out      = fs.String("out", "", "write the binary journal to this file")
+		limit    = fs.Int("limit", 10000, "max records retained")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(fs.Args()) > 0 {
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var runBench func(*bench.Target, bench.Params) (*bench.LatencyResult, error)
+	switch *benchSel {
+	case "lat_rd":
+		runBench = bench.LatRd
+	case "lat_wrrd":
+		runBench = bench.LatWrRd
+	default:
+		return fmt.Errorf("unknown benchmark %q (want lat_rd or lat_wrrd)", *benchSel)
+	}
 
 	sys, err := sysconf.ByName(*system)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	inst, err := sys.Build(sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	buf := &trace.Buffer{Limit: *limit}
 	inst.RC.SetTracer(buf)
@@ -53,43 +85,35 @@ func main() {
 		Transactions: *n,
 		Warmup:       1,
 	}
-	run := bench.LatRd
-	if *benchSel == "lat_wrrd" {
-		run = bench.LatWrRd
-	}
-	res, err := run(inst.Target(), p)
+	res, err := runBench(inst.Target(), p)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 
-	fmt.Printf("# %s on %s: %s\n", res.Name, sys.Name, p)
-	fmt.Printf("# measured: %s\n#\n", res.Summary)
-	fmt.Print(trace.Dump(buf.Records))
+	fmt.Fprintf(stdout, "# %s on %s: %s\n", res.Name, sys.Name, p)
+	fmt.Fprintf(stdout, "# measured: %s\n#\n", res.Summary)
+	fmt.Fprint(stdout, trace.Dump(buf.Records))
 
 	s := trace.Summarize(buf.Records)
-	fmt.Printf("#\n# %d TLPs (%d up / %d down), %d up bytes, %d down bytes, span %v\n",
+	fmt.Fprintf(stdout, "#\n# %d TLPs (%d up / %d down), %d up bytes, %d down bytes, span %v\n",
 		s.Records, s.UpTLPs, s.DownTLPs, s.UpBytes, s.DownBytes, s.Last-s.First)
 	for kind, count := range s.ByKind {
-		fmt.Printf("#   %-4s x%d\n", kind, count)
+		fmt.Fprintf(stdout, "#   %-4s x%d\n", kind, count)
 	}
 	if s.ByKind != nil && buf.Dropped > 0 {
-		fmt.Printf("# %d records dropped (limit %d)\n", buf.Dropped, *limit)
+		fmt.Fprintf(stdout, "# %d records dropped (limit %d)\n", buf.Dropped, *limit)
 	}
 
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		defer f.Close()
 		if _, err := buf.WriteTo(f); err != nil {
-			fatal(err)
+			return err
 		}
-		fmt.Printf("# journal written to %s\n", *out)
+		fmt.Fprintf(stdout, "# journal written to %s\n", *out)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pcie-trace:", err)
-	os.Exit(1)
+	return nil
 }

@@ -96,6 +96,47 @@ const (
 	MMIORead
 )
 
+// Role classifies an interaction by the ring mechanism it implements,
+// so workload-level knobs (doorbell batching, interrupt moderation,
+// descriptor-batch tuning) can retarget the right transactions without
+// matching on names. RoleOther interactions are never rewritten.
+type Role int
+
+// Interaction roles.
+const (
+	// RoleOther marks design-specific interactions no generic knob
+	// should touch.
+	RoleOther Role = iota
+	// RoleDoorbell: driver MMIO writes of ring tail pointers.
+	RoleDoorbell
+	// RoleDescFetch: device DMA reads of TX/freelist descriptors.
+	RoleDescFetch
+	// RoleWriteBack: device DMA writes of completion descriptors.
+	RoleWriteBack
+	// RoleInterrupt: MSI/MSI-X interrupt writes.
+	RoleInterrupt
+	// RoleHeadRead: driver MMIO reads of device head pointers (the
+	// register reads poll-mode drivers avoid).
+	RoleHeadRead
+)
+
+// String names the role.
+func (r Role) String() string {
+	switch r {
+	case RoleDoorbell:
+		return "doorbell"
+	case RoleDescFetch:
+		return "desc-fetch"
+	case RoleWriteBack:
+		return "write-back"
+	case RoleInterrupt:
+		return "interrupt"
+	case RoleHeadRead:
+		return "head-read"
+	}
+	return "other"
+}
+
 // Interaction is one device/driver PCIe transaction associated with
 // packet processing, amortized over PerPackets packets (batching).
 type Interaction struct {
@@ -106,6 +147,9 @@ type Interaction struct {
 	// once every PerPackets packets (1 = per packet, 40 = per batch of
 	// 40). Must be >= 1.
 	PerPackets float64
+	// Role classifies the interaction for workload-level batching and
+	// moderation knobs.
+	Role Role
 }
 
 // wireBytes returns the (up, down) wire bytes of one occurrence.
@@ -197,17 +241,17 @@ func SimpleNIC() NIC {
 	return NIC{
 		Name: "Simple NIC",
 		TX: []Interaction{
-			{"tail pointer write", MMIOWrite, pointerBytes, 1},
-			{"descriptor fetch", DMARead, descBytes, 1},
-			{"interrupt", DMAWrite, pointerBytes, 1},
-			{"head pointer read", MMIORead, pointerBytes, 1},
+			{"tail pointer write", MMIOWrite, pointerBytes, 1, RoleDoorbell},
+			{"descriptor fetch", DMARead, descBytes, 1, RoleDescFetch},
+			{"interrupt", DMAWrite, pointerBytes, 1, RoleInterrupt},
+			{"head pointer read", MMIORead, pointerBytes, 1, RoleHeadRead},
 		},
 		RX: []Interaction{
-			{"freelist tail write", MMIOWrite, pointerBytes, 1},
-			{"freelist descriptor fetch", DMARead, descBytes, 1},
-			{"RX descriptor write-back", DMAWrite, descBytes, 1},
-			{"interrupt", DMAWrite, pointerBytes, 1},
-			{"head pointer read", MMIORead, pointerBytes, 1},
+			{"freelist tail write", MMIOWrite, pointerBytes, 1, RoleDoorbell},
+			{"freelist descriptor fetch", DMARead, descBytes, 1, RoleDescFetch},
+			{"RX descriptor write-back", DMAWrite, descBytes, 1, RoleWriteBack},
+			{"interrupt", DMAWrite, pointerBytes, 1, RoleInterrupt},
+			{"head pointer read", MMIORead, pointerBytes, 1, RoleHeadRead},
 		},
 	}
 }
@@ -229,18 +273,18 @@ func ModernNICKernel() NIC {
 	return NIC{
 		Name: "Modern NIC (kernel driver)",
 		TX: []Interaction{
-			{"tail pointer write", MMIOWrite, pointerBytes, descFetchBatch},
-			{"descriptor batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch},
-			{"descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch},
-			{"interrupt", DMAWrite, pointerBytes, intrModeration},
-			{"head pointer read", MMIORead, pointerBytes, intrModeration},
+			{"tail pointer write", MMIOWrite, pointerBytes, descFetchBatch, RoleDoorbell},
+			{"descriptor batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch, RoleDescFetch},
+			{"descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch, RoleWriteBack},
+			{"interrupt", DMAWrite, pointerBytes, intrModeration, RoleInterrupt},
+			{"head pointer read", MMIORead, pointerBytes, intrModeration, RoleHeadRead},
 		},
 		RX: []Interaction{
-			{"freelist tail write", MMIOWrite, pointerBytes, descFetchBatch},
-			{"freelist batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch},
-			{"RX descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch},
-			{"interrupt", DMAWrite, pointerBytes, intrModeration},
-			{"head pointer read", MMIORead, pointerBytes, intrModeration},
+			{"freelist tail write", MMIOWrite, pointerBytes, descFetchBatch, RoleDoorbell},
+			{"freelist batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch, RoleDescFetch},
+			{"RX descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch, RoleWriteBack},
+			{"interrupt", DMAWrite, pointerBytes, intrModeration, RoleInterrupt},
+			{"head pointer read", MMIORead, pointerBytes, intrModeration, RoleHeadRead},
 		},
 	}
 }
@@ -252,14 +296,14 @@ func ModernNICDPDK() NIC {
 	return NIC{
 		Name: "Modern NIC (DPDK driver)",
 		TX: []Interaction{
-			{"tail pointer write", MMIOWrite, pointerBytes, descFetchBatch},
-			{"descriptor batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch},
-			{"descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch},
+			{"tail pointer write", MMIOWrite, pointerBytes, descFetchBatch, RoleDoorbell},
+			{"descriptor batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch, RoleDescFetch},
+			{"descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch, RoleWriteBack},
 		},
 		RX: []Interaction{
-			{"freelist tail write", MMIOWrite, pointerBytes, descFetchBatch},
-			{"freelist batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch},
-			{"RX descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch},
+			{"freelist tail write", MMIOWrite, pointerBytes, descFetchBatch, RoleDoorbell},
+			{"freelist batch fetch", DMARead, descBytes * descFetchBatch, descFetchBatch, RoleDescFetch},
+			{"RX descriptor write-back", DMAWrite, descBytes * writeBackBatch, writeBackBatch, RoleWriteBack},
 		},
 	}
 }

@@ -157,11 +157,11 @@ func TestValidate(t *testing.T) {
 			t.Errorf("%s: %v", m.Name, err)
 		}
 	}
-	bad := NIC{Name: "bad", TX: []Interaction{{"x", DMARead, 16, 0}}}
+	bad := NIC{Name: "bad", TX: []Interaction{{"x", DMARead, 16, 0, RoleOther}}}
 	if err := bad.Validate(); err == nil {
 		t.Error("PerPackets 0 accepted")
 	}
-	bad2 := NIC{Name: "bad2", RX: []Interaction{{"x", DMARead, 0, 1}}}
+	bad2 := NIC{Name: "bad2", RX: []Interaction{{"x", DMARead, 0, 1, RoleOther}}}
 	if err := bad2.Validate(); err == nil {
 		t.Error("0 bytes accepted")
 	}

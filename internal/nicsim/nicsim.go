@@ -24,6 +24,7 @@ import (
 	"pciebench/internal/model"
 	"pciebench/internal/rc"
 	"pciebench/internal/sim"
+	"pciebench/internal/workload"
 )
 
 // LoopbackConfig shapes the ExaNIC-style loopback experiment.
@@ -207,101 +208,26 @@ type ThroughputResult struct {
 // concurrent read DMAs in flight, and measures the achieved rate. The
 // result should track design.Bandwidth (the closed-form Figure 1 curve)
 // closely; the report tests assert that.
+//
+// Throughput is the single-queue, fixed-size, saturating special case
+// of the internal/workload traffic engine; multi-queue, mixed-size and
+// open-loop scenarios run there.
 func Throughput(k *sim.Kernel, complex *rc.RootComplex, design model.NIC, bufDMA uint64, pktSz, pairs, window int) (ThroughputResult, error) {
 	if pktSz <= 0 || pairs <= 0 {
 		return ThroughputResult{}, fmt.Errorf("nicsim: bad params pkt=%d pairs=%d", pktSz, pairs)
 	}
-	if window <= 0 {
-		window = 32
+	res, err := workload.Run(k, complex, bufDMA, workload.Config{
+		Queues:  1,
+		Window:  window,
+		Design:  design,
+		Sizes:   workload.FixedSize(pktSz),
+		Arrival: workload.Saturate(),
+	}, pairs)
+	if err != nil {
+		return ThroughputResult{}, err
 	}
-
-	type txn struct {
-		kind  int // model.DMARead etc.
-		bytes int
-	}
-	// Build the per-pair transaction list: TX payload read, RX payload
-	// write, plus each interaction according to its amortization.
-	perPair := func(i int) []txn {
-		out := []txn{{model.DMARead, pktSz}, {model.DMAWrite, pktSz}}
-		for _, set := range [][]model.Interaction{design.TX, design.RX} {
-			for _, ia := range set {
-				every := int(ia.PerPackets)
-				if every < 1 {
-					every = 1
-				}
-				if i%every == 0 {
-					out = append(out, txn{ia.Kind, ia.Bytes})
-				}
-			}
-		}
-		return out
-	}
-
-	var (
-		issuedPairs int
-		done        int
-		endAt       sim.Time
-		rerr        error
-		inFlight    int
-	)
-	var pump func()
-	pump = func() {
-		for inFlight < window && issuedPairs < pairs && rerr == nil {
-			i := issuedPairs
-			issuedPairs++
-			inFlight++
-			var pairEnd sim.Time
-			for _, tx := range perPair(i) {
-				switch tx.kind {
-				case model.DMARead:
-					res, err := complex.DMARead(k.Now(), bufDMA, tx.bytes)
-					if err != nil {
-						rerr = err
-						return
-					}
-					if res.Complete > pairEnd {
-						pairEnd = res.Complete
-					}
-				case model.DMAWrite:
-					res, err := complex.DMAWrite(k.Now(), bufDMA, tx.bytes)
-					if err != nil {
-						rerr = err
-						return
-					}
-					if res.LinkDone > pairEnd {
-						pairEnd = res.LinkDone
-					}
-				case model.MMIOWrite:
-					if t := complex.MMIOWrite(k.Now(), tx.bytes); t > pairEnd {
-						pairEnd = t
-					}
-				case model.MMIORead:
-					if t := complex.MMIORead(k.Now(), tx.bytes, 40*sim.Nanosecond); t > pairEnd {
-						pairEnd = t
-					}
-				}
-			}
-			k.At(pairEnd, func() {
-				inFlight--
-				done++
-				if done == pairs {
-					endAt = k.Now()
-				}
-				pump()
-			})
-		}
-	}
-	k.After(0, pump)
-	k.Run()
-	if rerr != nil {
-		return ThroughputResult{}, rerr
-	}
-	if endAt == 0 {
-		return ThroughputResult{}, fmt.Errorf("nicsim: run did not complete")
-	}
-	elapsed := endAt.Seconds()
 	return ThroughputResult{
-		GbpsPerDirection: float64(pairs) * float64(pktSz) * 8 / elapsed / 1e9,
-		PairsPerSec:      float64(pairs) / elapsed,
+		GbpsPerDirection: res.GbpsPerDirection,
+		PairsPerSec:      res.PPS,
 	}, nil
 }

@@ -1,0 +1,109 @@
+package report
+
+import (
+	"pciebench/internal/sweep"
+)
+
+// The workload sweeps expose the multi-queue traffic engine
+// (internal/workload) on the registry, so realistic scenario grids —
+// queue scaling, packet-size mixes, bursty arrivals, moderation
+// settings — run from the CLIs and from JSON specs exactly like the
+// paper figures. They are scenario families the paper's single-queue
+// fixed-size harness could not express, not reproductions of specific
+// figures.
+
+func init() {
+	for _, s := range []*sweep.Spec{
+		wlIMIXSpec(), wlBurstSpec(), wlModerationSpec(),
+	} {
+		sweep.Register(s)
+	}
+}
+
+// workloadProbes is the standard workload column set: aggregate packet
+// rate and payload bandwidth plus the completion-latency percentiles.
+func workloadProbes() []sweep.Probe {
+	return []sweep.Probe{
+		{Label: "pps", Metric: sweep.MetricPPS},
+		{Label: "gbps", Metric: sweep.MetricGbps},
+		{Label: "p50_ns", Metric: sweep.MetricP50},
+		{Label: "p99_ns", Metric: sweep.MetricP99},
+		{Label: "p99.9_ns", Metric: sweep.MetricP999},
+	}
+}
+
+// wlIMIXSpec scales RX/TX queue pairs under saturating IMIX traffic
+// for the kernel-driver and DPDK-style designs: the multi-queue
+// generalization of Figure 1's question.
+func wlIMIXSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "wl-imix",
+		Title:       "Multi-queue IMIX saturation, kernel vs DPDK driver (NFP6000-HSW)",
+		Description: "Queue scaling under saturating IMIX traffic: packet rate and latency percentiles",
+		XAxis:       "queues",
+		XLabel:      "Queue pairs",
+		YLabel:      "Packet rate (pps) / Latency (ns)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("nic", "kernel", "dpdk"),
+			sweep.IntAxis("queues", 1, 2, 4, 8),
+		},
+		Base: map[string]string{
+			"system": "NFP6000-HSW", "bench": "workload", "sizes": "imix",
+			"arrival": "saturate", "inflight": "16", "flows": "1M",
+			"buffer": "4M", "nojitter": "true", "seed": "37",
+		},
+		Probes:   workloadProbes(),
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
+// wlBurstSpec contrasts smooth and bursty arrivals at the same offered
+// load: Poisson bursts queue in software where constant-rate traffic
+// does not, and the p99/p99.9 columns show it.
+func wlBurstSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "wl-burst",
+		Title:       "Arrival-process latency tails at 4Mpps offered IMIX load (NFP6000-HSW)",
+		Description: "Smooth vs Poisson-burst arrivals at equal offered load: queueing shows in p99/p99.9",
+		XAxis:       "arrival",
+		XLabel:      "Arrival process",
+		YLabel:      "Latency (ns)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("arrival", "rate:4M", "poisson:4M", "poisson:4M:burst=64"),
+			sweep.IntAxis("queues", 1, 4),
+		},
+		Base: map[string]string{
+			"system": "NFP6000-HSW", "bench": "workload", "sizes": "imix",
+			"inflight": "8", "flows": "1M", "buffer": "4M",
+			"nojitter": "true", "seed": "41",
+		},
+		Probes:   workloadProbes(),
+		SeedMode: sweep.SeedFixed,
+	}
+}
+
+// wlModerationSpec sweeps interrupt moderation and doorbell batching
+// on the simple NIC design, quantifying §3's batching argument with
+// measured 64B packet rates instead of closed-form wire accounting.
+func wlModerationSpec() *sweep.Spec {
+	return &sweep.Spec{
+		Name:        "wl-moderation",
+		Title:       "Doorbell batching and interrupt moderation, 64B packets (NFP6000-HSW)",
+		Description: "Simple-NIC design with swept doorbell batch and interrupt moderation, measured 64B rates",
+		XAxis:       "doorbell",
+		XLabel:      "Doorbell batch (packets)",
+		YLabel:      "Packet rate (pps)",
+		Axes: []sweep.Axis{
+			sweep.StrAxis("intrmod", "1", "40", "poll"),
+			sweep.IntAxis("doorbell", 1, 8, 40),
+		},
+		Base: map[string]string{
+			"system": "NFP6000-HSW", "bench": "workload", "nic": "simple",
+			"sizes": "64", "arrival": "saturate", "descbatch": "40",
+			"wbbatch": "8", "inflight": "32", "queues": "2",
+			"buffer": "4M", "nojitter": "true", "seed": "43",
+		},
+		Probes:   workloadProbes(),
+		SeedMode: sweep.SeedFixed,
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Property: quantiles are order statistics — any permutation of the
+// input yields bit-identical results. This is what makes the workload
+// percentile columns stable across completion orderings.
+func TestQuantileStabilityUnderPermutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples := make([]Sample, 5000)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 1000
+	}
+	qs := []float64{0, 0.5, 0.95, 0.99, 0.999, 1}
+	want, err := Quantiles(samples, qs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]Sample(nil), samples...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, err := Quantiles(shuffled, qs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range qs {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: q=%v changed under permutation: %v != %v",
+					trial, qs[i], got[i], want[i])
+			}
+		}
+	}
+	// The input slice itself is never reordered.
+	before := samples[17]
+	if _, err := Quantiles(samples, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if samples[17] != before {
+		t.Error("Quantiles mutated its input")
+	}
+}
+
+// Property: quantile values are nondecreasing in q and bounded by the
+// sample extremes.
+func TestQuantileMonotoneInQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(2000)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 50
+		}
+		qs := make([]float64, 50)
+		for i := range qs {
+			qs[i] = float64(i) / float64(len(qs)-1)
+		}
+		vals, err := Quantiles(samples, qs...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, _ := Quantile(samples, 0)
+		hi, _ := Quantile(samples, 1)
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("trial %d: quantiles not monotone: q=%v -> %v after q=%v -> %v",
+					trial, qs[i], vals[i], qs[i-1], vals[i-1])
+			}
+		}
+		if vals[0] != lo || vals[len(vals)-1] != hi {
+			t.Fatalf("trial %d: extremes %v..%v, want %v..%v", trial, vals[0], vals[len(vals)-1], lo, hi)
+		}
+	}
+}
+
+// Property: quantiles commute with positive affine maps: Q(a*x+b) =
+// a*Q(x)+b. Catches interpolation asymmetries.
+func TestQuantileAffineEquivariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]Sample, 999)
+	for i := range samples {
+		samples[i] = rng.Float64() * 100
+	}
+	mapped := make([]Sample, len(samples))
+	const a, b = 3.5, -20.0
+	for i, v := range samples {
+		mapped[i] = a*v + b
+	}
+	qs := []float64{0.1, 0.5, 0.9, 0.99, 0.999}
+	base, err := Quantiles(samples, qs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Quantiles(mapped, qs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range qs {
+		want := a*base[i] + b
+		if math.Abs(got[i]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("q=%v: %v, want %v", qs[i], got[i], want)
+		}
+	}
+}
+
+// The Summary percentiles the reports quote must agree with the
+// Quantiles path exactly.
+func TestSummaryMatchesQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]Sample, 20000)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 500
+	}
+	s, err := Summarize(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := Quantiles(samples, 0.5, 0.95, 0.99, 0.999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Median != vals[0] || s.P95 != vals[1] || s.P99 != vals[2] || s.P999 != vals[3] {
+		t.Errorf("Summary %v disagrees with Quantiles %v", s, vals)
+	}
+}
+
+func TestQuantilesErrors(t *testing.T) {
+	if _, err := Quantiles(nil, 0.5); err != ErrNoSamples {
+		t.Errorf("err = %v", err)
+	}
+	one, err := Quantiles([]Sample{42}, 0, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range one {
+		if v != 42 {
+			t.Errorf("single-sample quantiles = %v", one)
+		}
+	}
+}

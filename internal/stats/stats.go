@@ -82,6 +82,26 @@ func Quantile(samples []Sample, q float64) (float64, error) {
 	return quantileSorted(sorted, q), nil
 }
 
+// Quantiles returns several quantiles of samples in one pass — the
+// input is copied and sorted once, then each quantile is extracted
+// with the same interpolation as Quantile. It is the multi-percentile
+// counterpart of Quantile for callers that need an arbitrary set;
+// Summarize's fixed p50/p95/p99/p99.9 columns are built from the same
+// interpolation, and the tests pin the two paths to agree exactly.
+func Quantiles(samples []Sample, qs ...float64) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	sorted := make([]float64, len(samples))
+	copy(sorted, samples)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out, nil
+}
+
 func quantileSorted(sorted []float64, q float64) float64 {
 	if q <= 0 {
 		return sorted[0]

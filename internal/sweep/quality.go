@@ -55,6 +55,15 @@ func (q Quality) LoopN() int {
 	return 16
 }
 
+// WorkloadN returns packet pairs per traffic-engine run: enough for a
+// resolved p99.9 at Full, seconds-fast grids at Quick.
+func (q Quality) WorkloadN() int {
+	if q == Full {
+		return 100000
+	}
+	return 2000
+}
+
 // Transactions resolves the measured-transaction count for a benchmark
 // kind and probe metric: explicit n values win; otherwise distribution
 // probes use CDFN, latency benchmarks LatN, bandwidth benchmarks BwN
@@ -66,6 +75,8 @@ func (q Quality) Transactions(benchKind, metric string) int {
 	switch benchKind {
 	case BenchLoopback:
 		return q.LoopN()
+	case BenchWorkload:
+		return q.WorkloadN()
 	case BenchLatRd, BenchLatWrRd:
 		return q.LatN()
 	default:

@@ -9,17 +9,23 @@ import (
 	"pciebench/internal/runner"
 	"pciebench/internal/stats"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/workload"
 )
 
 // Measurement is everything one probe observed; probes extract their
 // headline value from it, figure assembly can read the rest (e.g. the
-// loopback PCIe fraction or a full CDF).
+// loopback PCIe fraction, a full CDF, or the workload per-queue
+// rates).
 type Measurement struct {
 	Median  float64
 	Gbps    float64
 	Frac    float64
 	Summary stats.Summary
 	CDF     *stats.CDF
+	// PPS and QueuePPS are the workload engine's aggregate and
+	// per-queue packet-pair rates.
+	PPS      float64
+	QueuePPS []float64
 }
 
 // Value extracts a metric from the measurement.
@@ -29,9 +35,22 @@ func (m Measurement) Value(metric string) float64 {
 		return m.Gbps
 	case MetricFrac:
 		return m.Frac
-	default:
-		return m.Median
+	case MetricPPS:
+		return m.PPS
+	case MetricP50:
+		return m.Summary.Median
+	case MetricP99:
+		return m.Summary.P99
+	case MetricP999:
+		return m.Summary.P999
 	}
+	if i, ok := queuePPSIndex(metric); ok {
+		if i < len(m.QueuePPS) {
+			return m.QueuePPS[i]
+		}
+		return 0
+	}
+	return m.Median
 }
 
 // CellResult is the outcome of one grid cell.
@@ -113,6 +132,12 @@ func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
 			return res, err
 		}
 	}
+	// Probes that apply no overrides and need no CDF observe the very
+	// same run, so the first measurement is reused for the rest — a
+	// workload cell emitting pps, p50, p99 and p99.9 columns runs the
+	// traffic once, not four times. Probes with a Set (or a CDF) keep
+	// their own runs, preserving the paper figures' semantics.
+	var memo, memoPert *Measurement
 	for pi, p := range s.probes() {
 		kv := s.mergedKV(c.KV, p.Set)
 		cfg, err := resolveConfig(kv)
@@ -125,24 +150,43 @@ func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
 			cfg.Params.Transactions = q.Transactions(cfg.Bench, metric)
 		}
 		wantCDF := metric == MetricCDF
+		memoable := len(p.Set) == 0 && !wantCDF
 
-		m, err := measure(cfg, shared, wantCDF)
-		if err != nil {
-			return res, fmt.Errorf("sweep: %s cell %d probe %d: %w", s.Name, c.Index, pi, err)
+		var m Measurement
+		if memoable && memo != nil {
+			m = *memo
+		} else {
+			m, err = measure(cfg, shared, wantCDF)
+			if err != nil {
+				return res, fmt.Errorf("sweep: %s cell %d probe %d: %w", s.Name, c.Index, pi, err)
+			}
+			if memoable {
+				mm := m
+				memo = &mm
+			}
 		}
 		value := m.Value(metric)
 		if s.Contrast != nil {
-			pcfg, err := resolveConfig(s.mergedKV(kv, s.Contrast.Set))
-			if err != nil {
-				return res, err
-			}
-			s.cellSeed(&pcfg, c.Index)
-			if pcfg.Params.Transactions == 0 {
-				pcfg.Params.Transactions = q.Transactions(pcfg.Bench, metric)
-			}
-			pm, err := measure(pcfg, nil, wantCDF)
-			if err != nil {
-				return res, fmt.Errorf("sweep: %s cell %d probe %d contrast: %w", s.Name, c.Index, pi, err)
+			var pm Measurement
+			if memoable && memoPert != nil {
+				pm = *memoPert
+			} else {
+				pcfg, err := resolveConfig(s.mergedKV(kv, s.Contrast.Set))
+				if err != nil {
+					return res, err
+				}
+				s.cellSeed(&pcfg, c.Index)
+				if pcfg.Params.Transactions == 0 {
+					pcfg.Params.Transactions = q.Transactions(pcfg.Bench, metric)
+				}
+				pm, err = measure(pcfg, nil, wantCDF)
+				if err != nil {
+					return res, fmt.Errorf("sweep: %s cell %d probe %d contrast: %w", s.Name, c.Index, pi, err)
+				}
+				if memoable {
+					pmm := pm
+					memoPert = &pmm
+				}
 			}
 			base, pert := value, pm.Value(metric)
 			if s.Contrast.Reduce == "delta" {
@@ -183,6 +227,9 @@ func measure(cfg Config, shared *sysconf.Instance, wantCDF bool) (Measurement, e
 	if cfg.Bench == BenchLoopback {
 		return measureLoopback(inst, cfg)
 	}
+	if cfg.Bench == BenchWorkload {
+		return measureWorkload(inst, cfg)
+	}
 
 	tgt := inst.Target()
 	switch cfg.Bench {
@@ -218,6 +265,31 @@ func measure(cfg Config, shared *sysconf.Instance, wantCDF bool) (Measurement, e
 		}
 		return Measurement{Gbps: out.Gbps}, nil
 	}
+}
+
+// measureWorkload runs the multi-queue traffic engine against the
+// instance: per-queue buffer regions are host-warmed like polled rings,
+// the cell's seed drives the workload randomness, and the measurement
+// carries aggregate and per-queue packet rates plus the
+// completion-latency percentiles.
+func measureWorkload(inst *sysconf.Instance, cfg Config) (Measurement, error) {
+	wl := cfg.Workload
+	wl.Seed = cfg.Opt.Seed
+	inst.Buffer.WarmHost(0, wl.Footprint())
+	res, err := workload.Run(inst.Kernel, inst.RC, inst.Buffer.DMAAddr(0), wl, cfg.Params.Transactions)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{
+		Median:  res.Latency.Median,
+		Gbps:    res.GbpsPerDirection,
+		PPS:     res.PPS,
+		Summary: res.Latency,
+	}
+	for _, q := range res.Queues {
+		m.QueuePPS = append(m.QueuePPS, q.PPS)
+	}
+	return m, nil
 }
 
 // measureLoopback replays the paper's Figure 2 setup: an ExaNIC-style

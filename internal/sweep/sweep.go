@@ -29,10 +29,12 @@ import (
 	"pciebench/internal/bench"
 	"pciebench/internal/pcie"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/workload"
 )
 
 // Benchmark kinds a cell can run. The five pcie-bench names follow
-// paper §4; loopback is the ExaNIC-style round trip of §2 (Figure 2).
+// paper §4; loopback is the ExaNIC-style round trip of §2 (Figure 2);
+// workload is the multi-queue traffic engine (internal/workload).
 const (
 	BenchLatRd    = "lat_rd"
 	BenchLatWrRd  = "lat_wrrd"
@@ -40,15 +42,46 @@ const (
 	BenchBwWr     = "bw_wr"
 	BenchBwRdWr   = "bw_rdwr"
 	BenchLoopback = "loopback"
+	BenchWorkload = "workload"
 )
 
-// Probe metrics.
+// Probe metrics. Workload cells additionally accept "qpps<i>", the
+// packet rate of queue i.
 const (
 	MetricMedian = "median" // median latency in ns
 	MetricGbps   = "gbps"   // per-direction payload bandwidth
 	MetricFrac   = "frac"   // PCIe fraction of the loopback round trip
 	MetricCDF    = "cdf"    // full latency distribution (median in Values)
+	MetricPPS    = "pps"    // aggregate packet-pair rate (workload)
+	MetricP50    = "p50"    // completion-latency p50 in ns (workload)
+	MetricP99    = "p99"    // completion-latency p99 in ns (workload)
+	MetricP999   = "p999"   // completion-latency p99.9 in ns (workload)
 )
+
+// queuePPSIndex parses the dynamic "qpps<i>" metric naming queue i's
+// packet rate.
+func queuePPSIndex(metric string) (int, bool) {
+	rest, ok := strings.CutPrefix(metric, "qpps")
+	if !ok || rest == "" {
+		return 0, false
+	}
+	i, err := strconv.Atoi(rest)
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// validMetric reports whether a probe metric name is known.
+func validMetric(m string) bool {
+	switch m {
+	case "", MetricMedian, MetricGbps, MetricFrac, MetricCDF,
+		MetricPPS, MetricP50, MetricP99, MetricP999:
+		return true
+	}
+	_, ok := queuePPSIndex(m)
+	return ok
+}
 
 // Seed modes.
 const (
@@ -183,6 +216,9 @@ type Config struct {
 	Bench  string
 	Params bench.Params
 	Opt    sysconf.Options
+	// Workload configures the traffic engine when Bench is
+	// BenchWorkload; other benchmarks ignore it.
+	Workload workload.Config
 }
 
 // ParseSize parses an integer with an optional K/M/G binary suffix
@@ -218,9 +254,11 @@ func parseBool(s string) (bool, error) {
 // knownKeys lists every parameter a cell assignment may set, for
 // override validation and error messages.
 var knownKeys = []string{
-	"bench", "buffer", "cache", "direct", "gen", "iommu", "lanes",
-	"mps", "mrrs", "n", "node", "nojitter", "offset", "pattern",
-	"seed", "sp", "system", "transfer", "warmup", "window",
+	"arrival", "bench", "buffer", "cache", "descbatch", "direct",
+	"doorbell", "flows", "gen", "inflight", "intrmod", "iommu",
+	"lanes", "mps", "mrrs", "n", "nic", "node", "nojitter", "offset",
+	"pattern", "queues", "seed", "sizes", "sp", "system", "transfer",
+	"warmup", "wbbatch", "window",
 }
 
 func isKnownKey(k string) bool {
@@ -270,7 +308,7 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			cfg.System = v
 		case "bench":
 			switch strings.ToLower(v) {
-			case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback:
+			case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback, BenchWorkload:
 				cfg.Bench = strings.ToLower(v)
 			default:
 				err = fmt.Errorf("unknown benchmark %q", v)
@@ -341,6 +379,31 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			if n, err = ParseSize(v); err == nil {
 				ensureLink().MRRS = n
 			}
+		case "queues":
+			cfg.Workload.Queues, err = ParseSize(v)
+		case "flows":
+			cfg.Workload.Flows, err = ParseSize(v)
+		case "inflight":
+			cfg.Workload.Window, err = ParseSize(v)
+		case "sizes":
+			cfg.Workload.Sizes, err = workload.ParseSizeDist(v)
+		case "arrival":
+			cfg.Workload.Arrival, err = workload.ParseArrival(v)
+		case "nic":
+			cfg.Workload.Design, err = workload.DesignByName(strings.ToLower(v))
+		case "doorbell":
+			cfg.Workload.Moderation.DoorbellBatch, err = ParseSize(v)
+		case "descbatch":
+			cfg.Workload.Moderation.DescBatch, err = ParseSize(v)
+		case "wbbatch":
+			cfg.Workload.Moderation.WriteBackBatch, err = ParseSize(v)
+		case "intrmod":
+			// "poll" strips interrupts and register reads entirely.
+			if strings.ToLower(v) == "poll" {
+				cfg.Workload.Moderation.IntrEvery = -1
+			} else {
+				cfg.Workload.Moderation.IntrEvery, err = ParseSize(v)
+			}
 		default:
 			err = fmt.Errorf("unknown parameter (known: %s)", strings.Join(knownKeys, " "))
 		}
@@ -356,6 +419,22 @@ func resolveConfig(kv map[string]string) (Config, error) {
 	}
 	if _, err := sysconf.ByName(cfg.System); err != nil {
 		return Config{}, err
+	}
+	if cfg.Bench == BenchWorkload {
+		// A "transfer" key doubles as the fixed frame size when no
+		// distribution is declared.
+		if cfg.Workload.Sizes == nil && cfg.Params.TransferSize > 0 {
+			cfg.Workload.Sizes = workload.FixedSize(cfg.Params.TransferSize)
+		}
+		// Fail at validation time if the queue regions overflow the
+		// host buffer.
+		cfg.Workload.BufferBytes = cfg.Opt.BufferSize
+		if cfg.Workload.BufferBytes == 0 {
+			cfg.Workload.BufferBytes = sysconf.DefaultBufferSize
+		}
+		if err := cfg.Workload.Validate(); err != nil {
+			return Config{}, err
+		}
 	}
 	return cfg, nil
 }
@@ -417,6 +496,8 @@ func metricFor(p Probe, benchKind string) string {
 	switch benchKind {
 	case BenchBwRd, BenchBwWr, BenchBwRdWr:
 		return MetricGbps
+	case BenchWorkload:
+		return MetricPPS
 	default:
 		return MetricMedian
 	}
@@ -523,9 +604,7 @@ func (s *Spec) Validate() error {
 		}
 	}
 	for _, p := range s.probes() {
-		switch p.Metric {
-		case "", MetricMedian, MetricGbps, MetricFrac, MetricCDF:
-		default:
+		if !validMetric(p.Metric) {
 			return fmt.Errorf("sweep: spec %q: unknown metric %q", s.Name, p.Metric)
 		}
 		if s.SharedInstance {

@@ -174,7 +174,10 @@ func TestValidateErrors(t *testing.T) {
 		func(s *Spec) { s.Base["bogus"] = "1" },
 		func(s *Spec) { s.Base["cache"] = "lukewarm"; s.Axes = s.Axes[1:] },
 		func(s *Spec) { s.SeedMode = "random" },
-		func(s *Spec) { s.Probes = []Probe{{Metric: "p50"}} },
+		func(s *Spec) { s.Probes = []Probe{{Metric: "p42"}} },
+		func(s *Spec) { s.Probes = []Probe{{Metric: "qpps"}} },
+		func(s *Spec) { s.Probes = []Probe{{Metric: "qpps-1"}} },
+		func(s *Spec) { s.Probes = []Probe{{Metric: "qppsx"}} },
 		func(s *Spec) { s.Probes = []Probe{{Set: map[string]string{"bench": "nope"}}} },
 		func(s *Spec) { s.Contrast = &Contrast{} },
 		func(s *Spec) { s.Contrast = &Contrast{Set: map[string]string{"node": "1"}, Reduce: "max"} },

@@ -161,6 +161,12 @@ func ByName(name string) (System, error) {
 	return System{}, fmt.Errorf("sysconf: unknown system %q", name)
 }
 
+// DefaultBufferSize is the host DMA buffer size Build allocates when
+// Options.BufferSize is zero: 64MB plus a page of slack for the
+// offset experiments. Exported so layers validating DMA footprints
+// (the sweep engine's workload cells) check against the real bound.
+const DefaultBufferSize = 64<<20 + 4096
+
 // Options configures the assembly of a benchmark instance.
 type Options struct {
 	// Seed drives all simulation randomness (0 uses 1).
@@ -274,7 +280,7 @@ func (s System) Build(opt Options) (*Instance, error) {
 
 	size := opt.BufferSize
 	if size == 0 {
-		size = 64<<20 + 4096
+		size = DefaultBufferSize
 	}
 	mode := hostif.Chunked4M
 	if s.Adapter == NetFPGASUME {

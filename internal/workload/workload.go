@@ -1,0 +1,511 @@
+// Package workload is the multi-queue NIC traffic engine: it drives
+// the discrete-event PCIe simulator with realistic scenarios instead
+// of the single-queue, fixed-size, perfectly batched steady state of
+// the original throughput harness.
+//
+// A workload couples four axes the paper's §2/§5 results hinge on:
+//
+//   - Queues: multiple RX/TX queue pairs sharing one PCIe link, with
+//     RSS-style flow-to-queue spreading over a large simulated flow
+//     population.
+//   - Sizes: per-packet frame sizes drawn from a distribution (fixed,
+//     IMIX, uniform, custom histogram).
+//   - Arrival: closed-loop saturation, constant rate, or Poisson
+//     bursts; open-loop packets queue in software when their queue's
+//     DMA window is full, which is where latency tails come from.
+//   - Moderation: per-queue doorbell batching, descriptor batch sizes
+//     and interrupt moderation rewriting the design's transaction mix.
+//
+// Each packet pair expands into the per-packet PCIe transaction list
+// of a model.NIC design (payload DMAs plus amortized descriptor
+// fetches, write-backs, doorbells and interrupts) exactly as
+// nicsim.Throughput did; that function is now the single-queue,
+// fixed-size, saturating special case of this engine. Results report
+// per-queue and aggregate packet rate plus p50/p99/p99.9
+// completion-latency percentiles.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"pciebench/internal/model"
+	"pciebench/internal/rc"
+	"pciebench/internal/sim"
+	"pciebench/internal/stats"
+)
+
+// Moderation tunes a design's ring mechanisms per queue. Zero values
+// keep the design's own amortization; the knobs rewrite interactions
+// by their model.Role, so they apply to any design that labels its
+// transactions.
+type Moderation struct {
+	// DoorbellBatch amortizes RoleDoorbell MMIO writes over this many
+	// packets (0 keeps the design's value).
+	DoorbellBatch int
+	// DescBatch rebatches RoleDescFetch descriptor reads: the fetch
+	// happens once per DescBatch packets and its size scales with the
+	// batch (0 keeps the design's value).
+	DescBatch int
+	// WriteBackBatch rebatches RoleWriteBack descriptor writes the same
+	// way (0 keeps the design's value).
+	WriteBackBatch int
+	// IntrEvery moderates RoleInterrupt and RoleHeadRead interactions
+	// to once per this many packets; 0 keeps the design's value and a
+	// negative value strips them entirely (poll-mode driver).
+	IntrEvery int
+}
+
+// IsZero reports whether no knob is set.
+func (m Moderation) IsZero() bool { return m == Moderation{} }
+
+// Apply returns a copy of design with the moderation knobs applied.
+func (m Moderation) Apply(design model.NIC) model.NIC {
+	if m.IsZero() {
+		return design
+	}
+	out := design
+	rewrite := func(list []model.Interaction) []model.Interaction {
+		res := make([]model.Interaction, 0, len(list))
+		for _, ia := range list {
+			perPacket := float64(ia.Bytes) / ia.PerPackets
+			rebatch := func(n int) {
+				ia.PerPackets = float64(n)
+				ia.Bytes = int(perPacket*float64(n) + 0.5)
+				if ia.Bytes < 1 {
+					ia.Bytes = 1
+				}
+			}
+			switch ia.Role {
+			case model.RoleDoorbell:
+				if m.DoorbellBatch > 0 {
+					ia.PerPackets = float64(m.DoorbellBatch)
+				}
+			case model.RoleDescFetch:
+				if m.DescBatch > 0 {
+					rebatch(m.DescBatch)
+				}
+			case model.RoleWriteBack:
+				if m.WriteBackBatch > 0 {
+					rebatch(m.WriteBackBatch)
+				}
+			case model.RoleInterrupt, model.RoleHeadRead:
+				if m.IntrEvery < 0 {
+					continue // poll mode: the driver never touches the device
+				}
+				if m.IntrEvery > 0 {
+					ia.PerPackets = float64(m.IntrEvery)
+				}
+			}
+			res = append(res, ia)
+		}
+		return res
+	}
+	out.TX = rewrite(design.TX)
+	out.RX = rewrite(design.RX)
+	return out
+}
+
+// DesignByName returns the named built-in NIC/driver design:
+// "simple", "kernel" or "dpdk".
+func DesignByName(name string) (model.NIC, error) {
+	switch name {
+	case "", "kernel":
+		return model.ModernNICKernel(), nil
+	case "simple":
+		return model.SimpleNIC(), nil
+	case "dpdk":
+		return model.ModernNICDPDK(), nil
+	}
+	return model.NIC{}, fmt.Errorf("workload: unknown NIC design %q (want simple, kernel or dpdk)", name)
+}
+
+// Defaults applied by Run for zero Config fields.
+const (
+	DefaultFlows       = 1 << 20
+	DefaultWindow      = 32
+	DefaultQueueStride = 64 << 10
+	defaultFrame       = 1500
+	// mmioReadLatency is the device-side register read response time,
+	// matching the original throughput harness.
+	mmioReadLatency = 40 * sim.Nanosecond
+)
+
+// Config shapes one traffic run.
+type Config struct {
+	// Queues is the RX/TX queue-pair count (default 1).
+	Queues int
+	// Flows is the simulated flow population. Open-loop packets belong
+	// to a uniformly drawn flow whose hash spreads it RSS-style across
+	// the queues (default 1M flows).
+	Flows int
+	// Window is the per-queue in-flight packet-pair limit (default 32).
+	Window int
+	// Design is the per-packet transaction mix (default
+	// model.ModernNICKernel).
+	Design model.NIC
+	// Moderation rewrites Design's ring mechanisms on every queue.
+	Moderation Moderation
+	// PerQueue optionally overrides Moderation queue by queue; when
+	// non-nil its length must equal Queues.
+	PerQueue []Moderation
+	// Sizes draws per-packet frame sizes (default fixed 1500B).
+	Sizes SizeDist
+	// Arrival generates packet arrivals (default Saturate).
+	Arrival Arrival
+	// Seed drives the workload's own randomness — flow choice, size
+	// draws, arrival gaps — decoupled from the kernel rng so the
+	// host-side jitter stream is untouched (0 uses 1).
+	Seed int64
+	// QueueStride is the byte distance between queue buffer regions
+	// (default 64KB).
+	QueueStride int
+	// BufferBytes, when > 0, bounds the DMA footprint: Run fails
+	// loudly if the queues' regions do not fit.
+	BufferBytes int
+}
+
+// WithDefaults returns the config with zero fields resolved to the
+// documented defaults — what Run executes. Callers that size or warm
+// the DMA region (see Footprint) resolve the config first so they and
+// the engine agree on the queue count and stride.
+func (c Config) WithDefaults() Config {
+	if c.Queues <= 0 {
+		c.Queues = 1
+	}
+	if c.Flows <= 0 {
+		c.Flows = DefaultFlows
+	}
+	if c.Window <= 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Design.Name == "" && c.Design.TX == nil && c.Design.RX == nil {
+		c.Design = model.ModernNICKernel()
+	}
+	if c.Sizes == nil {
+		c.Sizes = FixedSize(defaultFrame)
+	}
+	if c.Arrival == nil {
+		c.Arrival = Saturate()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.QueueStride <= 0 {
+		c.QueueStride = DefaultQueueStride
+	}
+	return c
+}
+
+// Footprint returns the DMA byte span the resolved config touches —
+// queue count times stride — which callers warm as the rings' hot
+// region and validate against the host buffer.
+func (c Config) Footprint() int {
+	c = c.WithDefaults()
+	return c.Queues * c.QueueStride
+}
+
+// Validate checks the resolved config.
+func (c Config) Validate() error {
+	c = c.WithDefaults()
+	if c.PerQueue != nil && len(c.PerQueue) != c.Queues {
+		return fmt.Errorf("workload: %d per-queue moderations for %d queues", len(c.PerQueue), c.Queues)
+	}
+	if err := c.Design.Validate(); err != nil {
+		return err
+	}
+	if c.Sizes.Max() > c.QueueStride {
+		return fmt.Errorf("workload: max frame %dB exceeds queue stride %dB", c.Sizes.Max(), c.QueueStride)
+	}
+	if c.BufferBytes > 0 {
+		need := c.Queues * c.QueueStride
+		if need > c.BufferBytes {
+			return fmt.Errorf("workload: %d queues x %dB stride = %dB exceeds the %dB host buffer",
+				c.Queues, c.QueueStride, need, c.BufferBytes)
+		}
+	}
+	return nil
+}
+
+// QueueStats is one queue's share of a run.
+type QueueStats struct {
+	// Queue is the queue-pair index.
+	Queue int `json:"queue"`
+	// Pairs is the number of packet pairs the queue completed.
+	Pairs int `json:"pairs"`
+	// PPS is the queue's full-duplex packet-pair rate.
+	PPS float64 `json:"pps"`
+	// Gbps is the queue's per-direction payload throughput.
+	Gbps float64 `json:"gbps"`
+	// Latency summarizes the queue's completion latency in ns
+	// (arrival to last transaction of the pair).
+	Latency stats.Summary `json:"latency_ns"`
+}
+
+// Result is the outcome of a traffic run.
+type Result struct {
+	// Pairs is the total completed packet-pair count.
+	Pairs int `json:"pairs"`
+	// Elapsed is the simulated time from start to the last completion.
+	Elapsed sim.Time `json:"elapsed_ps"`
+	// PPS is the aggregate full-duplex packet-pair rate.
+	PPS float64 `json:"pps"`
+	// GbpsPerDirection is the aggregate per-direction payload
+	// throughput (the Figure 1 metric generalized to mixed sizes).
+	GbpsPerDirection float64 `json:"gbps"`
+	// OfferedPPS echoes the open-loop offered load (0 when saturating).
+	OfferedPPS float64 `json:"offered_pps,omitempty"`
+	// Latency summarizes completion latency across all queues in ns;
+	// Median/P99/P999 are the p50/p99/p99.9 the reports quote.
+	Latency stats.Summary `json:"latency_ns"`
+	// Queues holds the per-queue breakdown.
+	Queues []QueueStats `json:"queues"`
+}
+
+// txn is one PCIe transaction of a packet pair.
+type txn struct {
+	kind  int
+	bytes int
+	every int // amortization: issue when pktIndex%every == 0
+}
+
+// queueState is the engine's per-queue bookkeeping.
+type queueState struct {
+	addr     uint64 // base DMA address of the queue's buffer region
+	mix      []txn  // interaction mix beyond the payload transfers
+	count    int    // packets issued (drives amortization)
+	inFlight int
+	backlog  []pending // open-loop software queue
+	pairs    int       // completed
+	bytes    int64     // completed payload bytes
+	lat      []float64 // completion latencies in ns
+}
+
+// pending is an arrived-but-not-issued open-loop packet.
+type pending struct {
+	size    int
+	arrival sim.Time
+}
+
+// compileMix flattens a design's TX+RX interactions into the engine's
+// transaction list with integer amortization, preserving the order the
+// original throughput harness used.
+func compileMix(design model.NIC) []txn {
+	var mix []txn
+	for _, set := range [][]model.Interaction{design.TX, design.RX} {
+		for _, ia := range set {
+			every := int(ia.PerPackets)
+			if every < 1 {
+				every = 1
+			}
+			mix = append(mix, txn{kind: ia.Kind, bytes: ia.Bytes, every: every})
+		}
+	}
+	return mix
+}
+
+// Run drives complex with cfg's traffic until pairs packet pairs have
+// completed, with each queue's buffer region starting at bufDMA +
+// queue*QueueStride, and returns the per-queue and aggregate rates and
+// latency percentiles. The simulation starts at the kernel's current
+// time, so a fresh instance and a shared one measure the same way.
+func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pairs int) (*Result, error) {
+	if pairs <= 0 {
+		return nil, fmt.Errorf("workload: pairs %d, want > 0", pairs)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	queues := make([]queueState, cfg.Queues)
+	for q := range queues {
+		mod := cfg.Moderation
+		if cfg.PerQueue != nil {
+			mod = cfg.PerQueue[q]
+		}
+		queues[q] = queueState{
+			addr: bufDMA + uint64(q)*uint64(cfg.QueueStride),
+			mix:  compileMix(mod.Apply(cfg.Design)),
+		}
+	}
+
+	var (
+		start    = k.Now()
+		issued   int
+		done     int
+		endAt    sim.Time
+		rerr     error
+		lat      = make([]float64, 0, pairs)
+		closed   = cfg.Arrival.Saturating()
+		pumpFn   func(q int)
+		issueOne func(q int, size int, arrival sim.Time)
+	)
+
+	// issueOne expands one packet pair into its transaction list at the
+	// current simulated time and schedules the completion bookkeeping.
+	issueOne = func(q, size int, arrival sim.Time) {
+		qs := &queues[q]
+		i := qs.count
+		qs.count++
+		qs.inFlight++
+		issued++
+		var pairEnd sim.Time
+		issueTxn := func(kind, bytes int) {
+			if rerr != nil {
+				return
+			}
+			switch kind {
+			case model.DMARead:
+				res, err := complex.DMARead(k.Now(), qs.addr, bytes)
+				if err != nil {
+					rerr = err
+					return
+				}
+				if res.Complete > pairEnd {
+					pairEnd = res.Complete
+				}
+			case model.DMAWrite:
+				res, err := complex.DMAWrite(k.Now(), qs.addr, bytes)
+				if err != nil {
+					rerr = err
+					return
+				}
+				if res.LinkDone > pairEnd {
+					pairEnd = res.LinkDone
+				}
+			case model.MMIOWrite:
+				if t := complex.MMIOWrite(k.Now(), bytes); t > pairEnd {
+					pairEnd = t
+				}
+			case model.MMIORead:
+				if t := complex.MMIORead(k.Now(), bytes, mmioReadLatency); t > pairEnd {
+					pairEnd = t
+				}
+			}
+		}
+		// Payload first — TX is a DMA read, RX a DMA write — then the
+		// design's amortized interactions.
+		issueTxn(model.DMARead, size)
+		issueTxn(model.DMAWrite, size)
+		for _, tx := range qs.mix {
+			if i%tx.every == 0 {
+				issueTxn(tx.kind, tx.bytes)
+			}
+		}
+		if rerr != nil {
+			return
+		}
+		k.At(pairEnd, func() {
+			qs.inFlight--
+			qs.pairs++
+			qs.bytes += int64(size)
+			sample := (pairEnd - arrival).Nanoseconds()
+			qs.lat = append(qs.lat, sample)
+			lat = append(lat, sample)
+			done++
+			if done == pairs {
+				endAt = k.Now()
+			}
+			pumpFn(q)
+		})
+	}
+
+	if closed {
+		// Closed loop: each queue refills its own window on completion.
+		pumpFn = func(q int) {
+			qs := &queues[q]
+			for qs.inFlight < cfg.Window && issued < pairs && rerr == nil {
+				now := k.Now()
+				issueOne(q, cfg.Sizes.Sample(rng), now)
+			}
+		}
+		k.After(0, func() {
+			for q := range queues {
+				pumpFn(q)
+			}
+		})
+	} else {
+		// Open loop: timed arrivals spread over the queues by flow
+		// hash; a full window queues the packet in software.
+		pumpFn = func(q int) {
+			qs := &queues[q]
+			for qs.inFlight < cfg.Window && len(qs.backlog) > 0 && rerr == nil {
+				p := qs.backlog[0]
+				qs.backlog = qs.backlog[1:]
+				issueOne(q, p.size, p.arrival)
+			}
+		}
+		var arrived int
+		var nextArrival func()
+		nextArrival = func() {
+			if arrived >= pairs || rerr != nil {
+				return
+			}
+			gap, batch := cfg.Arrival.NextGap(rng)
+			k.After(gap, func() {
+				for b := 0; b < batch && arrived < pairs; b++ {
+					arrived++
+					flow := rng.Intn(cfg.Flows)
+					q := queueOf(uint64(flow), cfg.Queues)
+					size := cfg.Sizes.Sample(rng)
+					qs := &queues[q]
+					if qs.inFlight < cfg.Window {
+						issueOne(q, size, k.Now())
+					} else {
+						qs.backlog = append(qs.backlog, pending{size: size, arrival: k.Now()})
+					}
+				}
+				nextArrival()
+			})
+		}
+		k.After(0, nextArrival)
+	}
+
+	k.Run()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if endAt == 0 || done != pairs {
+		return nil, fmt.Errorf("workload: run did not complete (%d/%d pairs)", done, pairs)
+	}
+
+	elapsed := endAt - start
+	secs := elapsed.Seconds()
+	res := &Result{
+		Pairs:      pairs,
+		Elapsed:    elapsed,
+		PPS:        float64(pairs) / secs,
+		OfferedPPS: cfg.Arrival.OfferedPPS(),
+	}
+	var totalBytes int64
+	for q := range queues {
+		qs := &queues[q]
+		totalBytes += qs.bytes
+		st := QueueStats{
+			Queue: q,
+			Pairs: qs.pairs,
+			PPS:   float64(qs.pairs) / secs,
+			Gbps:  float64(qs.bytes) * 8 / secs / 1e9,
+		}
+		if len(qs.lat) > 0 {
+			st.Latency, _ = stats.Summarize(qs.lat)
+		}
+		res.Queues = append(res.Queues, st)
+	}
+	res.GbpsPerDirection = float64(totalBytes) * 8 / secs / 1e9
+	res.Latency, _ = stats.Summarize(lat)
+	return res, nil
+}
+
+// queueOf spreads a flow over the queues RSS-style with a splitmix64
+// hash, so flow-to-queue assignment is stable across runs and roughly
+// uniform over any flow population.
+func queueOf(flow uint64, queues int) int {
+	z := flow + 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int(z % uint64(queues))
+}
