@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke clean
+.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke bench-compare clean
 
 all: build test
 
@@ -68,6 +68,18 @@ bench-smoke:
 	@$(GO) run ./cmd/benchjson -out BENCH_$(BENCH_N).json < bench-smoke.out
 	@rm -f bench-smoke.out
 	@echo "wrote BENCH_$(BENCH_N).json"
+
+# Runs the smoke benchmarks and prints old-vs-new ns/op against the
+# most recent committed BENCH_*.json, so a perf change can be eyeballed
+# before committing a new report. Writes nothing.
+bench-compare:
+	@old=$$(ls BENCH_*.json 2>/dev/null | sort -t_ -k2 -n | tail -1); \
+	if [ -z "$$old" ]; then echo "no committed BENCH_*.json to compare against"; exit 1; fi; \
+	$(GO) test -bench=. -benchtime=1x -run '^$$' . > bench-compare.out || \
+		{ cat bench-compare.out; rm -f bench-compare.out; exit 1; }; \
+	$(GO) run ./cmd/benchjson -compare $$old < bench-compare.out || \
+		{ rm -f bench-compare.out; exit 1; }; \
+	rm -f bench-compare.out
 
 clean:
 	rm -rf repro-out

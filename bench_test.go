@@ -432,9 +432,12 @@ func BenchmarkCacheDeviceAccess(b *testing.B) {
 }
 
 // BenchmarkSimulatedDMARate measures end-to-end simulated DMA
-// throughput (simulated transactions per wall second).
+// throughput (simulated transactions per wall second). The steady-state
+// loop — event kernel, DMA engine, root complex, cache model — is
+// allocation-free, which ReportAllocs keeps visible.
 func BenchmarkSimulatedDMARate(b *testing.B) {
 	inst := mustBuild(b, "NFP6000-HSW", sysconf.Options{BufferSize: 1 << 20, NoJitter: true})
+	b.ReportAllocs()
 	b.ResetTimer()
 	res, err := bench.BwRd(inst.Target(), bench.Params{
 		WindowSize: 8 << 10, TransferSize: 64,
@@ -444,4 +447,45 @@ func BenchmarkSimulatedDMARate(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ReportMetric(res.Gbps, "sim-Gb/s")
+}
+
+// kernelLoopHandler reschedules itself until its budget is spent; a
+// pool of them keeps the event heap populated so the benchmark
+// exercises real sift-up/sift-down paths, not a single-element queue.
+type kernelLoopHandler struct {
+	budget int
+	stride sim.Time
+}
+
+// Handle burns one event and schedules the next.
+func (h *kernelLoopHandler) Handle(k *sim.Kernel, a, b int64) {
+	if h.budget <= 0 {
+		return
+	}
+	h.budget--
+	k.AfterEvent(h.stride, h, a, b)
+}
+
+// BenchmarkKernelEventLoop measures the typed-event kernel alone:
+// schedule plus dispatch of one event through the 4-ary heap with 16
+// events outstanding. It must report 0 allocs/op — the sim package's
+// TestTypedEventLoopZeroAlloc asserts the same property as a test, so
+// a regression fails CI rather than just skewing this number.
+func BenchmarkKernelEventLoop(b *testing.B) {
+	k := sim.New(1)
+	const handlers = 16
+	for i := 0; i < handlers; i++ {
+		budget := b.N / handlers
+		if i < b.N%handlers {
+			budget++ // distribute the remainder so exactly b.N events run
+		}
+		h := &kernelLoopHandler{
+			budget: budget,
+			stride: sim.Time(7 + i), // co-prime-ish strides keep the heap shuffled
+		}
+		k.AfterEvent(sim.Time(i), h, int64(i), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	k.Run()
 }

@@ -42,11 +42,13 @@ func main() {
 }
 
 // run parses bench output from stdin and writes the JSON report to
-// -out (or stdout when unset).
+// -out (or stdout when unset). With -compare it instead prints an
+// old-vs-new ns/op table against a previously committed report.
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(io.Discard)
 	out := fs.String("out", "", "output file (default stdout)")
+	compare := fs.String("compare", "", "print an old-vs-new ns/op comparison against this BENCH_*.json file instead of emitting JSON")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,6 +61,17 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return fmt.Errorf("no benchmark lines found on stdin")
 	}
 
+	if *compare != "" {
+		old, err := load(*compare)
+		if err != nil {
+			return err
+		}
+		printComparison(stdout, *compare, old, report)
+		if *out == "" {
+			return nil
+		}
+	}
+
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -69,6 +82,49 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// load reads a previously written report file.
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// printComparison renders an old-vs-new ns/op table. Benchmarks present
+// on only one side are listed without a delta. Single-iteration smoke
+// numbers are noisy; the table tracks direction and magnitude across
+// PRs, not precise speedups.
+func printComparison(w io.Writer, oldName string, old, cur *Report) {
+	oldNs := make(map[string]float64, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldNs[b.Name] = b.NsPerOp
+	}
+	fmt.Fprintf(w, "%-28s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, b := range cur.Benchmarks {
+		prev, ok := oldNs[b.Name]
+		switch {
+		case !ok:
+			fmt.Fprintf(w, "%-28s %14s %14.0f %9s\n", b.Name, "-", b.NsPerOp, "new")
+		case prev == 0:
+			fmt.Fprintf(w, "%-28s %14.0f %14.0f %9s\n", b.Name, prev, b.NsPerOp, "-")
+		default:
+			fmt.Fprintf(w, "%-28s %14.0f %14.0f %+8.1f%%\n", b.Name, prev, b.NsPerOp, 100*(b.NsPerOp-prev)/prev)
+		}
+		delete(oldNs, b.Name)
+	}
+	for _, b := range old.Benchmarks {
+		if _, gone := oldNs[b.Name]; gone {
+			fmt.Fprintf(w, "%-28s %14.0f %14s %9s\n", b.Name, b.NsPerOp, "-", "gone")
+		}
+	}
+	fmt.Fprintf(w, "(old: %s)\n", oldName)
 }
 
 // parse scans bench output for Benchmark result lines.

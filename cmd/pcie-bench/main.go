@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -67,29 +69,31 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("pcie-bench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		list     = fs.Bool("list", false, "list systems and exit")
-		system   = fs.String("system", "NFP6000-HSW", "system under test (see -list)")
-		benchSel = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr|workload")
-		window   = fs.String("window", "8K", "window size (supports K/M/G suffixes)")
-		transfer = fs.Int("transfer", 64, "transfer size in bytes")
-		offset   = fs.Int("offset", 0, "offset from cache line start")
-		pattern  = fs.String("pattern", "rand", "rand|seq")
-		cache    = fs.String("cache", "warm", "cold|warm|devwarm")
-		n        = fs.Int("n", 10000, "measured transactions")
-		node     = fs.Int("node", 0, "NUMA node for the host buffer")
-		iommuOn  = fs.Bool("iommu", false, "enable the IOMMU (4KB mappings)")
-		sp       = fs.Bool("sp", false, "use superpage IOMMU mappings")
-		direct   = fs.Bool("direct", false, "use the device's direct command interface")
-		seed     = fs.Int64("seed", 1, "simulation seed")
-		cdf      = fs.Bool("cdf", false, "print the latency CDF (latency benches)")
-		jsonOut  = fs.Bool("json", false, "print the benchmark result as JSON")
-		suite    = fs.Bool("suite", false, "run the full ~2000-test matrix (paper §5.4) and print a TSV report")
-		parallel = fs.Int("parallel", 0, "suite/sweep worker count (0 = GOMAXPROCS); the report is identical for any value")
-		sweeps   = fs.Bool("sweeps", false, "list registered sweeps and exit")
-		runName  = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
-		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
-		format   = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
-		full     = fs.Bool("full", false, "paper-scale sample counts for sweeps (slower)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
+		list       = fs.Bool("list", false, "list systems and exit")
+		system     = fs.String("system", "NFP6000-HSW", "system under test (see -list)")
+		benchSel   = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr|workload")
+		window     = fs.String("window", "8K", "window size (supports K/M/G suffixes)")
+		transfer   = fs.Int("transfer", 64, "transfer size in bytes")
+		offset     = fs.Int("offset", 0, "offset from cache line start")
+		pattern    = fs.String("pattern", "rand", "rand|seq")
+		cache      = fs.String("cache", "warm", "cold|warm|devwarm")
+		n          = fs.Int("n", 10000, "measured transactions")
+		node       = fs.Int("node", 0, "NUMA node for the host buffer")
+		iommuOn    = fs.Bool("iommu", false, "enable the IOMMU (4KB mappings)")
+		sp         = fs.Bool("sp", false, "use superpage IOMMU mappings")
+		direct     = fs.Bool("direct", false, "use the device's direct command interface")
+		seed       = fs.Int64("seed", 1, "simulation seed")
+		cdf        = fs.Bool("cdf", false, "print the latency CDF (latency benches)")
+		jsonOut    = fs.Bool("json", false, "print the benchmark result as JSON")
+		suite      = fs.Bool("suite", false, "run the full ~2000-test matrix (paper §5.4) and print a TSV report")
+		parallel   = fs.Int("parallel", 0, "suite/sweep worker count (0 = GOMAXPROCS); the report is identical for any value")
+		sweeps     = fs.Bool("sweeps", false, "list registered sweeps and exit")
+		runName    = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
+		specPath   = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
+		format     = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
+		full       = fs.Bool("full", false, "paper-scale sample counts for sweeps (slower)")
 
 		// Traffic-engine knobs (-bench workload).
 		queues   = fs.Int("queues", 1, "workload: RX/TX queue pairs")
@@ -103,6 +107,34 @@ func run(args []string, stdout, stderr io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling wraps every mode — single benches, the suite and the
+	// sweep engine — so perf work needs no code edits, just flags.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "pcie-bench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live objects before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "pcie-bench: memprofile:", err)
+			}
+		}()
 	}
 
 	if *list {

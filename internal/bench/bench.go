@@ -262,6 +262,41 @@ func LatWrRd(t *Target, p Params) (*LatencyResult, error) {
 	})
 }
 
+// latRun is the typed-event stepper behind runLatency: each event runs
+// one transaction and schedules the next directly at completion plus
+// the journaling gap, with no per-transaction closures. (The previous
+// closure form scheduled an intermediate event at the completion time
+// whose only job was to schedule the next step; collapsing the two
+// changes no timestamps, because nothing else fires in the open
+// interval between a completion and completion+gap.)
+type latRun struct {
+	engine *device.Engine
+	gen    *addrGen
+	op     func(addr uint64) (sim.Time, sim.Time, error)
+	res    *LatencyResult
+	gap    sim.Time
+	warm   int
+	total  int
+	err    error
+}
+
+// Handle runs transaction a and schedules transaction a+1.
+func (r *latRun) Handle(k *sim.Kernel, i, _ int64) {
+	if int(i) >= r.total || r.err != nil {
+		return
+	}
+	start, done, err := r.op(r.gen.next())
+	if err != nil {
+		r.err = err
+		return
+	}
+	if int(i) >= r.warm {
+		lat := r.engine.Quantize(done - start)
+		r.res.Samples = append(r.res.Samples, lat.Nanoseconds())
+	}
+	k.AtEvent(done+r.gap, r, i+1, 0)
+}
+
 // runLatency drives dependent transactions: each starts after the
 // previous completes plus the journaling gap, exactly like the paper's
 // single-threaded latency firmware.
@@ -274,37 +309,25 @@ func runLatency(t *Target, p Params, name string, writes bool, op func(addr uint
 		gap = 50 * sim.Nanosecond
 	}
 	k := t.Engine.Kernel()
-	gen := newAddrGen(t, p)
 	res := &LatencyResult{Name: name, Params: p}
 	warm := p.warmup()
 	if writes && p.Cache == Cold {
 		warm = p.warmupWrites()
 	}
-	total := warm + p.Transactions
-	var rerr error
-
-	var step func(i int)
-	step = func(i int) {
-		if i >= total || rerr != nil {
-			return
-		}
-		start, done, err := op(gen.next())
-		if err != nil {
-			rerr = err
-			return
-		}
-		if i >= warm {
-			lat := t.Engine.Quantize(done - start)
-			res.Samples = append(res.Samples, lat.Nanoseconds())
-		}
-		k.At(done, func() {
-			k.After(gap, func() { step(i + 1) })
-		})
+	res.Samples = make([]float64, 0, p.Transactions)
+	r := &latRun{
+		engine: t.Engine,
+		gen:    newAddrGen(t, p),
+		op:     op,
+		res:    res,
+		gap:    gap,
+		warm:   warm,
+		total:  warm + p.Transactions,
 	}
-	k.After(0, func() { step(0) })
+	k.AfterEvent(0, r, 0, 0)
 	k.Run()
-	if rerr != nil {
-		return nil, rerr
+	if r.err != nil {
+		return nil, r.err
 	}
 	s, err := stats.Summarize(res.Samples)
 	if err != nil {
@@ -371,7 +394,23 @@ func runBandwidth(t *Target, p Params, kind bwKind) (*BandwidthResult, error) {
 		rerr        error
 	)
 
+	// submit and onDone are each created once per run and reused for
+	// every transaction, so the saturation loop itself allocates
+	// nothing per DMA.
 	var submit func()
+	onDone := func(c device.Completion) {
+		if c.Err != nil && rerr == nil {
+			rerr = c.Err
+		}
+		completed++
+		if completed == warm {
+			measureFrom = k.Now()
+		}
+		if completed == total {
+			measureTo = k.Now()
+		}
+		submit()
+	}
 	submit = func() {
 		if issued >= total || rerr != nil {
 			return
@@ -380,22 +419,10 @@ func runBandwidth(t *Target, p Params, kind bwKind) (*BandwidthResult, error) {
 		issued++
 		write := kind == bwWr || (kind == bwRdWr && i%2 == 1)
 		t.Engine.Submit(device.Op{
-			Write: write,
-			DMA:   gen.next(),
-			Size:  p.TransferSize,
-			OnDone: func(c device.Completion) {
-				if c.Err != nil && rerr == nil {
-					rerr = c.Err
-				}
-				completed++
-				if completed == warm {
-					measureFrom = k.Now()
-				}
-				if completed == total {
-					measureTo = k.Now()
-				}
-				submit()
-			},
+			Write:  write,
+			DMA:    gen.next(),
+			Size:   p.TransferSize,
+			OnDone: onDone,
 		})
 	}
 	// Prime the pipeline: the engine queues what it cannot start.

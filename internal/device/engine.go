@@ -112,12 +112,53 @@ type Engine struct {
 
 	issue    *sim.Server // descriptor issue stage
 	inFlight int
-	queue    []Op
+	queue    []Op // waiting ops, FIFO from qhead; storage reused
+	qhead    int
+
+	// Completion records in flight between finish() and the kernel
+	// event that delivers them. Slots are recycled through a freelist so
+	// the steady state allocates nothing per operation.
+	pending  []pendingDone
+	freeList []int32
 
 	// Statistics.
 	Ops       uint64
 	Bytes     uint64
 	MaxQueued int
+}
+
+// pendingDone parks a completion and its callback until the kernel
+// reaches the completion time.
+type pendingDone struct {
+	c      Completion
+	onDone func(Completion)
+}
+
+// finishEvent delivers one pending completion; it is pointer-shaped, so
+// scheduling it through the typed-event kernel does not allocate.
+type finishEvent struct{ e *Engine }
+
+// Handle frees the in-flight slot, starts a queued op, and runs the
+// caller's OnDone — the same order the closure-based path used.
+func (f finishEvent) Handle(_ *sim.Kernel, idx, _ int64) {
+	e := f.e
+	rec := e.pending[idx]
+	e.pending[idx] = pendingDone{}
+	e.freeList = append(e.freeList, int32(idx))
+	e.inFlight--
+	if e.qhead < len(e.queue) {
+		next := e.queue[e.qhead]
+		e.queue[e.qhead] = Op{}
+		e.qhead++
+		if e.qhead == len(e.queue) {
+			e.queue = e.queue[:0]
+			e.qhead = 0
+		}
+		e.start(next)
+	}
+	if rec.onDone != nil {
+		rec.onDone(rec.c)
+	}
 }
 
 // New builds an engine.
@@ -154,9 +195,18 @@ func (e *Engine) Quantize(d sim.Time) sim.Time {
 // completion time.
 func (e *Engine) Submit(op Op) {
 	if e.inFlight >= e.cfg.MaxInFlight {
+		// Compact the dead prefix of popped ops before it dominates the
+		// slice, so the queue reuses its storage instead of growing (and
+		// reallocating) for the lifetime of the run.
+		if e.qhead > 0 && e.qhead*2 >= len(e.queue) {
+			n := copy(e.queue, e.queue[e.qhead:])
+			clear(e.queue[n:])
+			e.queue = e.queue[:n]
+			e.qhead = 0
+		}
 		e.queue = append(e.queue, op)
-		if len(e.queue) > e.MaxQueued {
-			e.MaxQueued = len(e.queue)
+		if n := len(e.queue) - e.qhead; n > e.MaxQueued {
+			e.MaxQueued = n
 		}
 		return
 	}
@@ -231,21 +281,22 @@ func (e *Engine) start(op Op) Completion {
 }
 
 // finish schedules the completion event: the in-flight slot frees, a
-// queued op starts, and the caller's OnDone runs.
+// queued op starts, and the caller's OnDone runs. The completion parks
+// in a recycled pending slot and the event itself is typed, so nothing
+// here allocates in steady state.
 func (e *Engine) finish(c Completion, op Op) {
 	at := c.Done
 	if at < e.k.Now() {
 		at = e.k.Now()
 	}
-	e.k.At(at, func() {
-		e.inFlight--
-		if len(e.queue) > 0 {
-			next := e.queue[0]
-			e.queue = e.queue[1:]
-			e.start(next)
-		}
-		if op.OnDone != nil {
-			op.OnDone(c)
-		}
-	})
+	var idx int32
+	if n := len(e.freeList); n > 0 {
+		idx = e.freeList[n-1]
+		e.freeList = e.freeList[:n-1]
+	} else {
+		idx = int32(len(e.pending))
+		e.pending = append(e.pending, pendingDone{})
+	}
+	e.pending[idx] = pendingDone{c: c, onDone: op.OnDone}
+	e.k.AtEvent(at, finishEvent{e}, int64(idx), 0)
 }

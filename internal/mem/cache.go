@@ -29,9 +29,10 @@ const (
 
 type way struct {
 	tag   uint64
-	state LineState
-	ddio  bool   // allocated by a device write (counts against the DDIO quota)
 	use   uint64 // global LRU clock value of last touch
+	epoch uint64 // Thrash generation that allocated the line
+	state LineState
+	ddio  bool // allocated by a device write (counts against the DDIO quota)
 }
 
 type cacheSet struct {
@@ -53,6 +54,18 @@ type Cache struct {
 	cfg   CacheConfig
 	sets  []cacheSet
 	clock uint64
+	// epoch implements O(1) Thrash: a line is valid only when its epoch
+	// matches the cache's, so bumping the cache epoch invalidates every
+	// line without rewriting the (multi-megabyte) way metadata. The
+	// benchmark harness thrashes before every run, so this dominates
+	// setup cost for short runs and sweep grids.
+	epoch uint64
+
+	// Address-decomposition constants hoisted out of the access path:
+	// when LineSize is a power of two (the practical case) lineShift
+	// replaces the division, and nsets caches the set-count divisor.
+	lineShift int // -1 when LineSize is not a power of two
+	nsets     uint64
 
 	// Statistics.
 	Hits       uint64
@@ -76,11 +89,37 @@ func NewCache(cfg CacheConfig) *Cache {
 	if nsets < 1 {
 		nsets = 1
 	}
-	c := &Cache{cfg: cfg, sets: make([]cacheSet, nsets)}
+	c := &Cache{cfg: cfg, sets: make([]cacheSet, nsets), nsets: uint64(nsets)}
+	c.lineShift = -1
+	if ls := uint64(cfg.LineSize); ls&(ls-1) == 0 {
+		for s := 0; uint64(1)<<s <= ls; s++ {
+			if uint64(1)<<s == ls {
+				c.lineShift = s
+				break
+			}
+		}
+	}
+	// One backing array for every set's ways: building a large LLC is
+	// two allocations instead of one per set, which dominates the cost
+	// of assembling a system instance (sweeps build one per grid cell).
+	backing := make([]way, nsets*cfg.Ways)
 	for i := range c.sets {
-		c.sets[i].ways = make([]way, cfg.Ways)
+		c.sets[i].ways = backing[i*cfg.Ways : (i+1)*cfg.Ways : (i+1)*cfg.Ways]
 	}
 	return c
+}
+
+// locate decomposes addr into its set and tag in one step. The tag is
+// the line number (identical to tagFor); the set is the line number
+// modulo the set count (identical to setFor).
+func (c *Cache) locate(addr uint64) (*cacheSet, uint64) {
+	var line uint64
+	if c.lineShift >= 0 {
+		line = addr >> c.lineShift
+	} else {
+		line = addr / uint64(c.cfg.LineSize)
+	}
+	return &c.sets[line%c.nsets], line
 }
 
 // Config returns the cache geometry.
@@ -89,33 +128,27 @@ func (c *Cache) Config() CacheConfig { return c.cfg }
 // Sets returns the number of sets.
 func (c *Cache) Sets() int { return len(c.sets) }
 
-// setFor maps a byte address to its set.
-func (c *Cache) setFor(addr uint64) *cacheSet {
-	line := addr / uint64(c.cfg.LineSize)
-	return &c.sets[line%uint64(len(c.sets))]
-}
-
-func (c *Cache) tagFor(addr uint64) uint64 {
-	return addr / uint64(c.cfg.LineSize)
+// stateOf returns the effective state of a way: lines allocated before
+// the last Thrash are Invalid regardless of their stored state.
+func (c *Cache) stateOf(w *way) LineState {
+	if w.epoch != c.epoch {
+		return Invalid
+	}
+	return w.state
 }
 
 // Contains reports whether the line holding addr is resident, without
 // disturbing LRU state or statistics.
 func (c *Cache) Contains(addr uint64) bool {
-	s := c.setFor(addr)
-	tag := c.tagFor(addr)
-	for i := range s.ways {
-		if s.ways[i].state != Invalid && s.ways[i].tag == tag {
-			return true
-		}
-	}
-	return false
+	s, tag := c.locate(addr)
+	return c.lookup(s, tag) >= 0
 }
 
-// lookup returns the way index of the line, or -1.
-func (s *cacheSet) lookup(tag uint64) int {
+// lookup returns the way index of the line in s, or -1.
+func (c *Cache) lookup(s *cacheSet, tag uint64) int {
 	for i := range s.ways {
-		if s.ways[i].state != Invalid && s.ways[i].tag == tag {
+		w := &s.ways[i]
+		if w.state != Invalid && w.epoch == c.epoch && w.tag == tag {
 			return i
 		}
 	}
@@ -134,9 +167,8 @@ type AccessResult struct {
 // allocate on a miss.
 func (c *Cache) DeviceRead(addr uint64) AccessResult {
 	c.clock++
-	s := c.setFor(addr)
-	tag := c.tagFor(addr)
-	if i := s.lookup(tag); i >= 0 {
+	s, tag := c.locate(addr)
+	if i := c.lookup(s, tag); i >= 0 {
 		s.ways[i].use = c.clock
 		c.Hits++
 		return AccessResult{Hit: true}
@@ -152,9 +184,8 @@ func (c *Cache) DeviceRead(addr uint64) AccessResult {
 // is the DDIO latency penalty the paper measures.
 func (c *Cache) DeviceWrite(addr uint64, fullLine bool) AccessResult {
 	c.clock++
-	s := c.setFor(addr)
-	tag := c.tagFor(addr)
-	if i := s.lookup(tag); i >= 0 {
+	s, tag := c.locate(addr)
+	if i := c.lookup(s, tag); i >= 0 {
 		s.ways[i].use = c.clock
 		s.ways[i].state = Dirty
 		c.Hits++
@@ -163,14 +194,14 @@ func (c *Cache) DeviceWrite(addr uint64, fullLine bool) AccessResult {
 	c.Misses++
 	res := AccessResult{Fetched: !fullLine}
 	v := c.victimDDIO(s)
-	if s.ways[v].state == Dirty {
+	if st := c.stateOf(&s.ways[v]); st == Dirty {
 		c.Writebacks++
 		res.EvictedDirty = true
-	}
-	if s.ways[v].state != Invalid {
+		c.Evictions++
+	} else if st != Invalid {
 		c.Evictions++
 	}
-	s.ways[v] = way{tag: tag, state: Dirty, ddio: true, use: c.clock}
+	s.ways[v] = way{tag: tag, state: Dirty, ddio: true, use: c.clock, epoch: c.epoch}
 	return res
 }
 
@@ -179,9 +210,8 @@ func (c *Cache) DeviceWrite(addr uint64, fullLine bool) AccessResult {
 // Used by the cache-warming control interface (paper §4: "host warm").
 func (c *Cache) HostTouch(addr uint64, write bool) AccessResult {
 	c.clock++
-	s := c.setFor(addr)
-	tag := c.tagFor(addr)
-	if i := s.lookup(tag); i >= 0 {
+	s, tag := c.locate(addr)
+	if i := c.lookup(s, tag); i >= 0 {
 		s.ways[i].use = c.clock
 		if write {
 			s.ways[i].state = Dirty
@@ -192,18 +222,18 @@ func (c *Cache) HostTouch(addr uint64, write bool) AccessResult {
 	c.Misses++
 	res := AccessResult{Fetched: true}
 	v := c.victimAny(s)
-	if s.ways[v].state == Dirty {
+	if vst := c.stateOf(&s.ways[v]); vst == Dirty {
 		c.Writebacks++
 		res.EvictedDirty = true
-	}
-	if s.ways[v].state != Invalid {
+		c.Evictions++
+	} else if vst != Invalid {
 		c.Evictions++
 	}
 	st := Clean
 	if write {
 		st = Dirty
 	}
-	s.ways[v] = way{tag: tag, state: st, ddio: false, use: c.clock}
+	s.ways[v] = way{tag: tag, state: st, ddio: false, use: c.clock, epoch: c.epoch}
 	return res
 }
 
@@ -211,7 +241,7 @@ func (c *Cache) HostTouch(addr uint64, write bool) AccessResult {
 func (c *Cache) victimAny(s *cacheSet) int {
 	best := -1
 	for i := range s.ways {
-		if s.ways[i].state == Invalid {
+		if c.stateOf(&s.ways[i]) == Invalid {
 			return i
 		}
 		if best < 0 || s.ways[i].use < s.ways[best].use {
@@ -231,7 +261,7 @@ func (c *Cache) victimDDIO(s *cacheSet) int {
 	ddioCount := 0
 	bestAll, bestDDIO, firstInvalid := -1, -1, -1
 	for i := range s.ways {
-		if s.ways[i].state == Invalid {
+		if c.stateOf(&s.ways[i]) == Invalid {
 			if firstInvalid < 0 {
 				firstInvalid = i
 			}
@@ -257,13 +287,11 @@ func (c *Cache) victimDDIO(s *cacheSet) int {
 }
 
 // Thrash resets the cache to a cold state, as the paper's control
-// programs do before every benchmark run.
+// programs do before every benchmark run. It is O(1): bumping the
+// cache epoch invalidates every line lazily instead of rewriting the
+// way metadata of the entire LLC.
 func (c *Cache) Thrash() {
-	for i := range c.sets {
-		for j := range c.sets[i].ways {
-			c.sets[i].ways[j] = way{}
-		}
-	}
+	c.epoch++
 }
 
 // ResetStats zeroes the statistics counters.
@@ -276,7 +304,7 @@ func (c *Cache) Occupancy() int {
 	n := 0
 	for i := range c.sets {
 		for j := range c.sets[i].ways {
-			if c.sets[i].ways[j].state != Invalid {
+			if c.stateOf(&c.sets[i].ways[j]) != Invalid {
 				n++
 			}
 		}
@@ -289,7 +317,7 @@ func (c *Cache) DDIOOccupancy() int {
 	n := 0
 	for i := range c.sets {
 		for j := range c.sets[i].ways {
-			if c.sets[i].ways[j].state != Invalid && c.sets[i].ways[j].ddio {
+			if c.stateOf(&c.sets[i].ways[j]) != Invalid && c.sets[i].ways[j].ddio {
 				n++
 			}
 		}

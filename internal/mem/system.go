@@ -45,6 +45,7 @@ func (c Config) Validate() error {
 type System struct {
 	cfg   Config
 	nodes []*Cache
+	line  uint64 // resolved line size (cfg value, 64 when unset)
 }
 
 // NewSystem builds the memory system.
@@ -55,6 +56,10 @@ func NewSystem(cfg Config) (*System, error) {
 	s := &System{cfg: cfg}
 	for i := 0; i < cfg.Nodes; i++ {
 		s.nodes = append(s.nodes, NewCache(cfg.Cache))
+	}
+	s.line = uint64(cfg.Cache.LineSize)
+	if s.line == 0 {
+		s.line = 64
 	}
 	return s, nil
 }
@@ -80,11 +85,36 @@ func (s *System) Access(write bool, home int, addr uint64, size int) sim.Time {
 		home = 0
 	}
 	llc := s.nodes[home]
-	line := uint64(s.cfg.Cache.LineSize)
-	if line == 0 {
-		line = 64
-	}
+	line := s.line
 	first := addr / line * line
+
+	// Fast path for the dominant case — a transfer of at most one line
+	// (the paper's 64 B working size) that does not straddle a line
+	// boundary: exactly one cache access, no per-line loop. The
+	// latencies are the same max the general loop would compute, since
+	// DRAMLatency >= LLCLatency is enforced by Validate.
+	if uint64(size) <= line && addr+uint64(size) <= first+line {
+		var lat sim.Time
+		if write {
+			r := llc.DeviceWrite(first, addr == first && uint64(size) == line)
+			if r.Fetched {
+				lat = s.cfg.DRAMLatency
+			} else {
+				lat = s.cfg.LLCLatency
+			}
+		} else {
+			if llc.DeviceRead(first).Hit {
+				lat = s.cfg.LLCLatency
+			} else {
+				lat = s.cfg.DRAMLatency
+			}
+		}
+		if home != 0 {
+			lat += s.cfg.RemoteLatency
+		}
+		return lat
+	}
+
 	worst := s.cfg.LLCLatency
 	for a := first; a < addr+uint64(size); a += line {
 		var lat sim.Time
@@ -124,7 +154,7 @@ func (s *System) WarmHost(node int, addr uint64, size int) {
 		node = 0
 	}
 	llc := s.nodes[node]
-	line := uint64(s.cfg.Cache.LineSize)
+	line := s.line
 	first := addr / line * line
 	for a := first; a < addr+uint64(size); a += line {
 		llc.HostTouch(a, true)
@@ -138,7 +168,7 @@ func (s *System) WarmDevice(node int, addr uint64, size int) {
 		node = 0
 	}
 	llc := s.nodes[node]
-	line := uint64(s.cfg.Cache.LineSize)
+	line := s.line
 	first := addr / line * line
 	for a := first; a < addr+uint64(size); a += line {
 		llc.DeviceWrite(a, true)

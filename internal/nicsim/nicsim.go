@@ -160,8 +160,7 @@ func MedianLoopback(samples []LoopbackSample) (total sim.Time, pcieFraction floa
 	if len(samples) == 0 {
 		return 0, 0
 	}
-	totals := make([]sim.Time, len(samples))
-	copy(totals, extractTotals(samples))
+	totals := extractTotals(samples)
 	// Insertion sort: sample counts are small.
 	for i := 1; i < len(totals); i++ {
 		for j := i; j > 0 && totals[j] < totals[j-1]; j-- {

@@ -89,8 +89,21 @@ type RootComplex struct {
 	down *sim.Server // host -> device (completions, MMIO requests)
 	pipe *sim.MultiServer
 
+	// Per-link constants hoisted out of the DMA hot path at New time:
+	// header byte counts, the serialization time of the fixed-size read
+	// request TLP, and a lazily filled lookup table of BytesTime values
+	// for every wire size up to MPS plus headers. The table entries are
+	// produced by the same LinkConfig.BytesTime arithmetic, so cached
+	// and uncached timings are bit-identical.
+	reqHdr  int
+	cplHdr  int
+	wrHdr   int
+	reqTime sim.Time
+	btLUT   []sim.Time
+
 	tracer  trace.Tracer
-	scratch []byte // tracer encode buffer
+	scratch []byte // tracer encode buffer, reused across TLPs
+	payload []byte // tracer zero-payload buffer, reused across TLPs
 
 	// Statistics.
 	UpTLPs    uint64
@@ -106,16 +119,42 @@ func New(k *sim.Kernel, cfg Config, ms *mem.System, mmu *iommu.IOMMU, amap Addre
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &RootComplex{
-		k:    k,
-		cfg:  cfg,
-		ms:   ms,
-		mmu:  mmu,
-		amap: amap,
-		up:   sim.NewServer(k),
-		down: sim.NewServer(k),
-		pipe: sim.NewMultiServer(k, cfg.PipeSlots),
-	}, nil
+	link := cfg.Link
+	r := &RootComplex{
+		k:      k,
+		cfg:    cfg,
+		ms:     ms,
+		mmu:    mmu,
+		amap:   amap,
+		up:     sim.NewServer(k),
+		down:   sim.NewServer(k),
+		pipe:   sim.NewMultiServer(k, cfg.PipeSlots),
+		reqHdr: pcie.MRdHeaderBytes(link.Addr64, link.ECRC),
+		cplHdr: pcie.CplDHeaderBytes(link.ECRC),
+		wrHdr:  pcie.MWrHeaderBytes(link.Addr64, link.ECRC),
+	}
+	r.reqTime = sim.Time(link.BytesTime(r.reqHdr))
+	// Completions and writes top out at MPS payload plus their header;
+	// the slack covers MMIO writes of small registers. Larger one-off
+	// wires (rare) fall back to the direct computation.
+	r.btLUT = make([]sim.Time, link.MPS+r.wrHdr+64)
+	return r, nil
+}
+
+// bytesTime returns the serialization time of n wire bytes, memoizing
+// the per-size result. Entry 0 doubles as the "unfilled" sentinel: any
+// positive byte count serializes in at least one picosecond on every
+// supported link, so a cached zero never collides with a real value.
+func (r *RootComplex) bytesTime(n int) sim.Time {
+	if n < len(r.btLUT) {
+		if v := r.btLUT[n]; v != 0 {
+			return v
+		}
+		v := sim.Time(r.cfg.Link.BytesTime(n))
+		r.btLUT[n] = v
+		return v
+	}
+	return sim.Time(r.cfg.Link.BytesTime(n))
 }
 
 // SetTracer installs a TLP tracer; every request, write and completion
@@ -123,6 +162,18 @@ func New(k *sim.Kernel, cfg Config, ms *mem.System, mmu *iommu.IOMMU, amap Addre
 // serialization-complete time. A nil tracer (the default) costs
 // nothing.
 func (r *RootComplex) SetTracer(t trace.Tracer) { r.tracer = t }
+
+// zeroPayload returns an all-zero n-byte payload from the root complex's
+// reusable buffer. The simulator tracks timing, not data, so traced TLPs
+// always carry zero payloads; the buffer is never written after
+// allocation, which keeps pooled and freshly allocated records
+// byte-identical (asserted by TestTracedTLPsByteIdentical).
+func (r *RootComplex) zeroPayload(n int) []byte {
+	if cap(r.payload) < n {
+		r.payload = make([]byte, n)
+	}
+	return r.payload[:n]
+}
 
 // traceMemReq emits a traced memory request TLP.
 func (r *RootComplex) traceMemReq(at sim.Time, write bool, addr uint64, n int) {
@@ -135,7 +186,7 @@ func (r *RootComplex) traceMemReq(at sim.Time, write bool, addr uint64, n int) {
 	}
 	var perr error
 	if write {
-		w := tlp.MemWrite{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, Addr64: true, Data: make([]byte, n)}
+		w := tlp.MemWrite{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, Addr64: true, Data: r.zeroPayload(n)}
 		r.scratch, perr = w.AppendTo(r.scratch[:0])
 	} else {
 		rd := tlp.MemRead{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, LengthDW: lenDW, Addr64: true}
@@ -153,7 +204,7 @@ func (r *RootComplex) traceCpl(at sim.Time, addr uint64, n, remaining int) {
 	}
 	c := tlp.Completion{
 		Status: tlp.CplSuccess, ByteCount: remaining,
-		LowerAddr: uint8(addr & 0x7F), Data: make([]byte, n),
+		LowerAddr: uint8(addr & 0x7F), Data: r.zeroPayload(n),
 	}
 	var perr error
 	r.scratch, perr = c.AppendTo(r.scratch[:0])
@@ -198,7 +249,9 @@ func (r *RootComplex) translate(at sim.Time, dma uint64) (uint64, sim.Time, erro
 // boundedChunks calls fn(offset, n) for consecutive chunks of
 // [addr, addr+sz) that do not cross bound-aligned address boundaries.
 // This is the same arithmetic as tlp.SplitRead/SplitWrite; the
-// equivalence is asserted by tests.
+// equivalence is asserted by tests. DMARead/DMAWrite inline the same
+// loop rather than take a callback so their steady state stays free of
+// closure allocations; the tests pin the two forms to each other.
 func boundedChunks(addr uint64, sz, bound int, fn func(off, n int)) {
 	pos := addr
 	remaining := sz
@@ -264,31 +317,33 @@ func (r *RootComplex) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter
 	if sz <= 0 {
 		return ReadResult{}, fmt.Errorf("rc: read size %d", sz)
 	}
-	cfg := r.cfg
-	link := cfg.Link
-	reqHdr := pcie.MRdHeaderBytes(link.Addr64, link.ECRC)
-	cplHdr := pcie.CplDHeaderBytes(link.ECRC)
+	cfg := &r.cfg
+	mrrs := uint64(cfg.Link.MRRS)
+	mps := cfg.Link.MPS
+	rcb := uint64(cfg.Link.RCB)
 
 	res := ReadResult{}
-	var err error
 	r.ReadOps++
-	boundedChunks(dma, sz, link.MRRS, func(off, n int) {
-		if err != nil {
-			return
+	// MRRS-bounded request chunks (boundedChunks, in loop form).
+	pos := dma
+	remaining := sz
+	for remaining > 0 {
+		n := remaining
+		if boundary := (pos/mrrs + 1) * mrrs; pos+uint64(n) > boundary {
+			n = int(boundary - pos)
 		}
 		// Request serializes on the device->host direction.
-		txDone := r.up.ScheduleAt(at, sim.Time(link.BytesTime(reqHdr)))
+		txDone := r.up.ScheduleAt(at, r.reqTime)
 		r.UpTLPs++
-		r.UpBytes += uint64(reqHdr)
-		r.traceMemReq(txDone, false, dma+uint64(off), n)
+		r.UpBytes += uint64(r.reqHdr)
+		r.traceMemReq(txDone, false, pos, n)
 		arrive := txDone + cfg.WireDelay
 		// Root-complex processing.
 		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
 		// Address translation.
-		pa, ready, terr := r.translate(procDone, dma+uint64(off))
+		pa, ready, terr := r.translate(procDone, pos)
 		if terr != nil {
-			err = terr
-			return
+			return ReadResult{}, terr
 		}
 		if ready < orderAfter {
 			ready = orderAfter
@@ -296,13 +351,24 @@ func (r *RootComplex) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter
 		// Memory access: worst-line latency (line fetches in parallel).
 		memLat := r.ms.Access(false, r.home(pa), pa, n)
 		dataAt := ready + memLat
-		// Completions serialize on the host->device direction.
-		cplChunks(pa, n, link.MPS, link.RCB, func(coff, c int) {
-			wire := cplHdr + c
-			done := r.down.ScheduleAt(dataAt, sim.Time(link.BytesTime(wire)))
+		// Completions serialize on the host->device direction: a short
+		// first chunk up to the RCB boundary, then MPS-sized chunks
+		// (cplChunks, in loop form).
+		cpos := pa
+		crem := n
+		for crem > 0 {
+			c := mps
+			if mis := int(cpos % rcb); mis != 0 {
+				c = int(rcb) - mis
+			}
+			if c > crem {
+				c = crem
+			}
+			wire := r.cplHdr + c
+			done := r.down.ScheduleAt(dataAt, r.bytesTime(wire))
 			r.DownTLPs++
 			r.DownBytes += uint64(wire)
-			r.traceCpl(done, pa+uint64(coff), c, n-coff)
+			r.traceCpl(done, cpos, c, crem)
 			arriveDev := done + cfg.WireDelay
 			if res.FirstData == 0 || arriveDev < res.FirstData {
 				res.FirstData = arriveDev
@@ -310,10 +376,11 @@ func (r *RootComplex) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter
 			if arriveDev > res.Complete {
 				res.Complete = arriveDev
 			}
-		})
-	})
-	if err != nil {
-		return ReadResult{}, err
+			cpos += uint64(c)
+			crem -= c
+		}
+		pos += uint64(n)
+		remaining -= n
 	}
 	return res, nil
 }
@@ -335,39 +402,39 @@ func (r *RootComplex) DMAWrite(at sim.Time, dma uint64, sz int) (WriteResult, er
 	if sz <= 0 {
 		return WriteResult{}, fmt.Errorf("rc: write size %d", sz)
 	}
-	cfg := r.cfg
-	link := cfg.Link
-	hdr := pcie.MWrHeaderBytes(link.Addr64, link.ECRC)
+	cfg := &r.cfg
+	mps := uint64(cfg.Link.MPS)
 
 	res := WriteResult{}
-	var err error
 	r.WriteOps++
-	boundedChunks(dma, sz, link.MPS, func(off, n int) {
-		if err != nil {
-			return
+	// MPS-bounded write chunks (boundedChunks, in loop form).
+	pos := dma
+	remaining := sz
+	for remaining > 0 {
+		n := remaining
+		if boundary := (pos/mps + 1) * mps; pos+uint64(n) > boundary {
+			n = int(boundary - pos)
 		}
-		wire := hdr + n
-		txDone := r.up.ScheduleAt(at, sim.Time(link.BytesTime(wire)))
+		wire := r.wrHdr + n
+		txDone := r.up.ScheduleAt(at, r.bytesTime(wire))
 		r.UpTLPs++
 		r.UpBytes += uint64(wire)
-		r.traceMemReq(txDone, true, dma+uint64(off), n)
+		r.traceMemReq(txDone, true, pos, n)
 		if txDone > res.LinkDone {
 			res.LinkDone = txDone
 		}
 		arrive := txDone + cfg.WireDelay
 		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
-		pa, ready, terr := r.translate(procDone, dma+uint64(off))
+		pa, ready, terr := r.translate(procDone, pos)
 		if terr != nil {
-			err = terr
-			return
+			return WriteResult{}, terr
 		}
 		memLat := r.ms.Access(true, r.home(pa), pa, n)
 		if done := ready + memLat; done > res.MemDone {
 			res.MemDone = done
 		}
-	})
-	if err != nil {
-		return WriteResult{}, err
+		pos += uint64(n)
+		remaining -= n
 	}
 	return res, nil
 }
@@ -376,9 +443,8 @@ func (r *RootComplex) DMAWrite(at sim.Time, dma uint64, sz int) (WriteResult, er
 // register (doorbell): it serializes on the host->device direction and
 // returns the arrival time at the device. The CPU does not wait.
 func (r *RootComplex) MMIOWrite(at sim.Time, sz int) sim.Time {
-	link := r.cfg.Link
-	wire := pcie.MWrHeaderBytes(link.Addr64, link.ECRC) + sz
-	done := r.down.ScheduleAt(at, sim.Time(link.BytesTime(wire)))
+	wire := r.wrHdr + sz
+	done := r.down.ScheduleAt(at, r.bytesTime(wire))
 	r.DownTLPs++
 	r.DownBytes += uint64(wire)
 	return done + r.cfg.WireDelay
@@ -397,13 +463,11 @@ func (r *RootComplex) MMIOWrite(at sim.Time, sz int) sim.Time {
 // DMA traffic submitted afterwards. The few bytes involved make its
 // bandwidth contribution negligible (it is still counted in UpBytes).
 func (r *RootComplex) MMIORead(at sim.Time, sz int, devLatency sim.Time) sim.Time {
-	link := r.cfg.Link
-	req := pcie.MRdHeaderBytes(link.Addr64, link.ECRC)
-	reqArrive := r.down.ScheduleAt(at, sim.Time(link.BytesTime(req))) + r.cfg.WireDelay
+	reqArrive := r.down.ScheduleAt(at, r.reqTime) + r.cfg.WireDelay
 	r.DownTLPs++
-	r.DownBytes += uint64(req)
-	cplWire := pcie.CplDHeaderBytes(link.ECRC) + sz
-	cplDone := reqArrive + devLatency + sim.Time(link.BytesTime(cplWire))
+	r.DownBytes += uint64(r.reqHdr)
+	cplWire := r.cplHdr + sz
+	cplDone := reqArrive + devLatency + r.bytesTime(cplWire)
 	r.UpTLPs++
 	r.UpBytes += uint64(cplWire)
 	return cplDone + r.cfg.WireDelay

@@ -1,6 +1,7 @@
 package rc
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -10,6 +11,7 @@ import (
 	"pciebench/internal/pcie"
 	"pciebench/internal/sim"
 	"pciebench/internal/tlp"
+	"pciebench/internal/trace"
 )
 
 func testMemSystem(t *testing.T) *mem.System {
@@ -358,5 +360,109 @@ func TestQuantileJitter(t *testing.T) {
 	}
 	if f := float64(high) / float64(n); f < 0.07 || f > 0.13 {
 		t.Errorf("P(>1us) = %.3f, want ~0.1", f)
+	}
+}
+
+// TestTracedTLPsByteIdentical runs a traced transaction mix and checks
+// every captured TLP record byte-for-byte against a reference encoding
+// built with freshly allocated buffers — the construction the tracer
+// used before the scratch and payload buffers were pooled. It guards
+// the buffer reuse in traceMemReq/traceCpl: any cross-TLP contamination
+// of the shared scratch or payload storage shows up as a diff here.
+func TestTracedTLPsByteIdentical(t *testing.T) {
+	run := func(tr trace.Tracer) *RootComplex {
+		k := sim.New(7)
+		ms := testMemSystem(t)
+		r, err := New(k, testConfig(), ms, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.SetTracer(tr)
+		// A mix that exercises every traced path and TLP shape: reads
+		// and writes, MRRS/MPS-split transfers, RCB-misaligned sizes and
+		// unaligned addresses (partial byte enables).
+		at := sim.Time(0)
+		for i, op := range []struct {
+			write bool
+			dma   uint64
+			sz    int
+		}{
+			{false, 0x1000, 64},
+			{true, 0x1040, 64},
+			{false, 0x2000, 1500}, // MRRS split, multiple completions
+			{true, 0x3000, 1500},  // MPS split
+			{false, 0x4007, 9},    // unaligned, partial BEs
+			{true, 0x5003, 121},   // unaligned write
+			{false, 0x60c0, 300},  // RCB-misaligned completion chain
+		} {
+			if op.write {
+				if _, err := r.DMAWrite(at, op.dma, op.sz); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			} else {
+				if _, err := r.DMARead(at, op.dma, op.sz); err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+			}
+			at += 2 * sim.Microsecond
+		}
+		return r
+	}
+
+	var buf trace.Buffer
+	run(&buf)
+	if len(buf.Records) == 0 {
+		t.Fatal("no TLPs traced")
+	}
+
+	// Reference pass: re-encode every record's TLP from its decoded
+	// form with a fresh buffer per TLP and require identical bytes.
+	for i, rec := range buf.Records {
+		p, err := rec.Decode()
+		if err != nil {
+			t.Fatalf("record %d undecodable: %v", i, err)
+		}
+		var fresh []byte
+		var payload []byte
+		switch v := p.(type) {
+		case *tlp.MemRead:
+			fresh, err = v.AppendTo(nil)
+		case *tlp.MemWrite:
+			fresh, err = v.AppendTo(nil)
+			payload = v.Data
+		case *tlp.Completion:
+			fresh, err = v.AppendTo(nil)
+			payload = v.Data
+		default:
+			t.Fatalf("record %d: unexpected TLP %T", i, p)
+		}
+		if err != nil {
+			t.Fatalf("record %d re-encode: %v", i, err)
+		}
+		if !bytes.Equal(rec.TLP, fresh) {
+			t.Fatalf("record %d: traced bytes differ from fresh encoding\n traced: %x\n  fresh: %x", i, rec.TLP, fresh)
+		}
+		// Traced payloads are always zero-filled; a stray write into
+		// the pooled payload buffer would surface here.
+		for j, bb := range payload {
+			if bb != 0 {
+				t.Fatalf("record %d: payload byte %d is %#x, want 0 (pooled buffer contaminated)", i, j, bb)
+			}
+		}
+	}
+
+	// Determinism across runs: a second traced run must produce the
+	// exact same journal (timestamps, directions and bytes).
+	var buf2 trace.Buffer
+	run(&buf2)
+	if len(buf.Records) != len(buf2.Records) {
+		t.Fatalf("record counts differ: %d vs %d", len(buf.Records), len(buf2.Records))
+	}
+	for i := range buf.Records {
+		a, b := buf.Records[i], buf2.Records[i]
+		if a.At != b.At || a.Dir != b.Dir || !bytes.Equal(a.TLP, b.TLP) {
+			t.Fatalf("record %d differs between runs: %v/%v %x vs %v/%v %x",
+				i, a.At, a.Dir, a.TLP, b.At, b.Dir, b.TLP)
+		}
 	}
 }

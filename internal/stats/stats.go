@@ -34,12 +34,38 @@ type Summary struct {
 // Summarize computes a Summary over samples. The input slice is not
 // modified.
 func Summarize(samples []Sample) (Summary, error) {
+	var sc Scratch
+	return sc.Summarize(samples)
+}
+
+// Scratch is a reusable sort buffer for summary and quantile
+// computations. The zero value is ready to use; reusing one Scratch
+// across calls (per-queue latency summaries, sweep probes) avoids the
+// copy-and-sort allocation that Summarize/Quantiles otherwise pay per
+// call. A Scratch is not safe for concurrent use.
+type Scratch struct {
+	buf []float64
+}
+
+// sorted copies samples into the scratch buffer and sorts it.
+func (sc *Scratch) sorted(samples []Sample) []float64 {
+	if cap(sc.buf) < len(samples) {
+		sc.buf = make([]float64, len(samples))
+	}
+	s := sc.buf[:len(samples)]
+	copy(s, samples)
+	sort.Float64s(s)
+	return s
+}
+
+// Summarize computes a Summary over samples using the scratch buffer.
+// The input slice is not modified. Results are identical to the
+// package-level Summarize.
+func (sc *Scratch) Summarize(samples []Sample) (Summary, error) {
 	if len(samples) == 0 {
 		return Summary{}, ErrNoSamples
 	}
-	sorted := make([]float64, len(samples))
-	copy(sorted, samples)
-	sort.Float64s(sorted)
+	sorted := sc.sorted(samples)
 	var sum, sumsq float64
 	for _, v := range sorted {
 		sum += v
@@ -62,6 +88,21 @@ func Summarize(samples []Sample) (Summary, error) {
 		P999:   quantileSorted(sorted, 0.999),
 		StdDev: math.Sqrt(variance),
 	}, nil
+}
+
+// Quantiles computes several quantiles of samples into dst (grown as
+// needed) using the scratch buffer, with the same interpolation as the
+// package-level Quantiles. The input slice is not modified.
+func (sc *Scratch) Quantiles(dst []float64, samples []Sample, qs ...float64) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, ErrNoSamples
+	}
+	sorted := sc.sorted(samples)
+	dst = dst[:0]
+	for _, q := range qs {
+		dst = append(dst, quantileSorted(sorted, q))
+	}
+	return dst, nil
 }
 
 // String renders the summary in one line.
@@ -89,17 +130,8 @@ func Quantile(samples []Sample, q float64) (float64, error) {
 // Summarize's fixed p50/p95/p99/p99.9 columns are built from the same
 // interpolation, and the tests pin the two paths to agree exactly.
 func Quantiles(samples []Sample, qs ...float64) ([]float64, error) {
-	if len(samples) == 0 {
-		return nil, ErrNoSamples
-	}
-	sorted := make([]float64, len(samples))
-	copy(sorted, samples)
-	sort.Float64s(sorted)
-	out := make([]float64, len(qs))
-	for i, q := range qs {
-		out[i] = quantileSorted(sorted, q)
-	}
-	return out, nil
+	var sc Scratch
+	return sc.Quantiles(make([]float64, 0, len(qs)), samples, qs...)
 }
 
 func quantileSorted(sorted []float64, q float64) float64 {

@@ -28,6 +28,7 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"pciebench/internal/model"
 	"pciebench/internal/rc"
@@ -275,16 +276,68 @@ type queueState struct {
 	mix      []txn  // interaction mix beyond the payload transfers
 	count    int    // packets issued (drives amortization)
 	inFlight int
-	backlog  []pending // open-loop software queue
+	backlog  []pending // open-loop software queue, FIFO from bhead
+	bhead    int       // index of the oldest backlog entry
 	pairs    int       // completed
 	bytes    int64     // completed payload bytes
-	lat      []float64 // completion latencies in ns
+	lat      []float64 // completion latencies in ns (pooled)
+
+	latPtr     *[]float64 // pool boxes, round-tripped back on Put
+	backlogPtr *[]pending
 }
+
+// pushBacklog appends an open-loop packet, compacting the consumed
+// prefix first so the (pooled) backing array is reused instead of
+// growing without bound.
+func (qs *queueState) pushBacklog(p pending) {
+	if qs.bhead > 0 && qs.bhead*2 >= len(qs.backlog) {
+		n := copy(qs.backlog, qs.backlog[qs.bhead:])
+		qs.backlog = qs.backlog[:n]
+		qs.bhead = 0
+	}
+	qs.backlog = append(qs.backlog, p)
+}
+
+// popBacklog removes and returns the oldest queued packet.
+func (qs *queueState) popBacklog() pending {
+	p := qs.backlog[qs.bhead]
+	qs.bhead++
+	if qs.bhead == len(qs.backlog) {
+		qs.backlog = qs.backlog[:0]
+		qs.bhead = 0
+	}
+	return p
+}
+
+// backlogLen returns the number of queued packets.
+func (qs *queueState) backlogLen() int { return len(qs.backlog) - qs.bhead }
 
 // pending is an arrived-but-not-issued open-loop packet.
 type pending struct {
 	size    int
 	arrival sim.Time
+}
+
+// Buffer pools shared across runs: completion-latency sample buffers
+// and open-loop backlogs are returned after each Run, so repeated runs
+// (sweep grids, benchmarks) stop reallocating them.
+var (
+	latBufPool  = sync.Pool{New: func() any { s := make([]float64, 0, 1024); return &s }}
+	backlogPool = sync.Pool{New: func() any { s := make([]pending, 0, 64); return &s }}
+)
+
+// getLatBuf borrows an empty latency buffer; putLatBuf returns it with
+// its (possibly grown) storage. The *[]float64 box from Get round-trips
+// back to Put so the pool itself allocates nothing per cycle.
+func getLatBuf() *[]float64 {
+	p := latBufPool.Get().(*[]float64)
+	*p = (*p)[:0]
+	return p
+}
+
+func putLatBuf(p *[]float64, s []float64) {
+	*p = s[:0]
+	latBufPool.Put(p)
 }
 
 // compileMix flattens a design's TX+RX interactions into the engine's
@@ -304,6 +357,176 @@ func compileMix(design model.NIC) []txn {
 	return mix
 }
 
+// runState is the engine state of one Run. Its per-packet control flow
+// runs entirely through the kernel's typed events: completion and
+// arrival bookkeeping are methods invoked via pointer-shaped handlers
+// with the per-event data packed into the two event arguments, so the
+// steady-state loop schedules nothing that allocates.
+type runState struct {
+	k       *sim.Kernel
+	complex *rc.RootComplex
+	cfg     Config
+	rng     *rand.Rand
+	queues  []queueState
+	pairs   int
+	issued  int
+	done    int
+	arrived int
+	endAt   sim.Time
+	err     error
+	lat     []float64  // aggregate completion latencies (pooled)
+	latPtr  *[]float64 // pool box, round-tripped back on Put
+	closed  bool
+}
+
+// pairDoneEvent fires when the last transaction of a packet pair
+// completes; a packs the queue index and frame size, b the arrival
+// time.
+type pairDoneEvent struct{ s *runState }
+
+// Handle records the completed pair and refills its queue.
+func (e pairDoneEvent) Handle(k *sim.Kernel, a, b int64) {
+	s := e.s
+	q, size := int(a>>32), int(a&0xFFFFFFFF)
+	qs := &s.queues[q]
+	qs.inFlight--
+	qs.pairs++
+	qs.bytes += int64(size)
+	sample := (k.Now() - sim.Time(b)).Nanoseconds()
+	qs.lat = append(qs.lat, sample)
+	s.lat = append(s.lat, sample)
+	s.done++
+	if s.done == s.pairs {
+		s.endAt = k.Now()
+	}
+	s.pump(q)
+}
+
+// startEvent kicks the run off at the kernel's current time.
+type startEvent struct{ s *runState }
+
+// Handle primes every queue (closed loop) or draws the first arrival
+// gap (open loop).
+func (e startEvent) Handle(*sim.Kernel, int64, int64) {
+	s := e.s
+	if s.closed {
+		for q := range s.queues {
+			s.pump(q)
+		}
+		return
+	}
+	s.scheduleArrival()
+}
+
+// arrivalEvent fires one open-loop arrival batch; a is the batch size.
+type arrivalEvent struct{ s *runState }
+
+// Handle spreads the batch over the queues by flow hash and draws the
+// next arrival.
+func (e arrivalEvent) Handle(k *sim.Kernel, a, _ int64) {
+	s := e.s
+	for b := int64(0); b < a && s.arrived < s.pairs; b++ {
+		s.arrived++
+		flow := s.rng.Intn(s.cfg.Flows)
+		q := queueOf(uint64(flow), s.cfg.Queues)
+		size := s.cfg.Sizes.Sample(s.rng)
+		qs := &s.queues[q]
+		if qs.inFlight < s.cfg.Window {
+			s.issueOne(q, size, k.Now())
+		} else {
+			qs.pushBacklog(pending{size: size, arrival: k.Now()})
+		}
+	}
+	s.scheduleArrival()
+}
+
+// scheduleArrival draws the next open-loop gap and batch and schedules
+// the batch event.
+func (s *runState) scheduleArrival() {
+	if s.arrived >= s.pairs || s.err != nil {
+		return
+	}
+	gap, batch := s.cfg.Arrival.NextGap(s.rng)
+	s.k.AfterEvent(gap, arrivalEvent{s}, int64(batch), 0)
+}
+
+// pump refills queue q: closed-loop runs draw fresh frames up to the
+// window; open-loop runs drain the software backlog.
+func (s *runState) pump(q int) {
+	qs := &s.queues[q]
+	if s.closed {
+		for qs.inFlight < s.cfg.Window && s.issued < s.pairs && s.err == nil {
+			s.issueOne(q, s.cfg.Sizes.Sample(s.rng), s.k.Now())
+		}
+		return
+	}
+	for qs.inFlight < s.cfg.Window && qs.backlogLen() > 0 && s.err == nil {
+		p := qs.popBacklog()
+		s.issueOne(q, p.size, p.arrival)
+	}
+}
+
+// issueTxn runs one PCIe transaction of a pair at the current simulated
+// time and returns the updated pair-completion horizon.
+func (s *runState) issueTxn(qs *queueState, kind, bytes int, pairEnd sim.Time) sim.Time {
+	if s.err != nil {
+		return pairEnd
+	}
+	switch kind {
+	case model.DMARead:
+		res, err := s.complex.DMARead(s.k.Now(), qs.addr, bytes)
+		if err != nil {
+			s.err = err
+			return pairEnd
+		}
+		if res.Complete > pairEnd {
+			pairEnd = res.Complete
+		}
+	case model.DMAWrite:
+		res, err := s.complex.DMAWrite(s.k.Now(), qs.addr, bytes)
+		if err != nil {
+			s.err = err
+			return pairEnd
+		}
+		if res.LinkDone > pairEnd {
+			pairEnd = res.LinkDone
+		}
+	case model.MMIOWrite:
+		if t := s.complex.MMIOWrite(s.k.Now(), bytes); t > pairEnd {
+			pairEnd = t
+		}
+	case model.MMIORead:
+		if t := s.complex.MMIORead(s.k.Now(), bytes, mmioReadLatency); t > pairEnd {
+			pairEnd = t
+		}
+	}
+	return pairEnd
+}
+
+// issueOne expands one packet pair into its transaction list at the
+// current simulated time and schedules the completion bookkeeping.
+func (s *runState) issueOne(q, size int, arrival sim.Time) {
+	qs := &s.queues[q]
+	i := qs.count
+	qs.count++
+	qs.inFlight++
+	s.issued++
+	// Payload first — TX is a DMA read, RX a DMA write — then the
+	// design's amortized interactions.
+	var pairEnd sim.Time
+	pairEnd = s.issueTxn(qs, model.DMARead, size, pairEnd)
+	pairEnd = s.issueTxn(qs, model.DMAWrite, size, pairEnd)
+	for _, tx := range qs.mix {
+		if i%tx.every == 0 {
+			pairEnd = s.issueTxn(qs, tx.kind, tx.bytes, pairEnd)
+		}
+	}
+	if s.err != nil {
+		return
+	}
+	s.k.AtEvent(pairEnd, pairDoneEvent{s}, int64(q)<<32|int64(size), int64(arrival))
+}
+
 // Run drives complex with cfg's traffic until pairs packet pairs have
 // completed, with each queue's buffer region starting at bufDMA +
 // queue*QueueStride, and returns the per-queue and aggregate rates and
@@ -318,160 +541,60 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 		return nil, err
 	}
 
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	queues := make([]queueState, cfg.Queues)
-	for q := range queues {
+	s := &runState{
+		k:       k,
+		complex: complex,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		queues:  make([]queueState, cfg.Queues),
+		pairs:   pairs,
+		latPtr:  getLatBuf(),
+		closed:  cfg.Arrival.Saturating(),
+	}
+	s.lat = *s.latPtr
+	defer func() {
+		putLatBuf(s.latPtr, s.lat)
+		for q := range s.queues {
+			qs := &s.queues[q]
+			if qs.latPtr != nil {
+				putLatBuf(qs.latPtr, qs.lat)
+			}
+			if qs.backlogPtr != nil {
+				*qs.backlogPtr = qs.backlog[:0]
+				backlogPool.Put(qs.backlogPtr)
+			}
+		}
+	}()
+	for q := range s.queues {
 		mod := cfg.Moderation
 		if cfg.PerQueue != nil {
 			mod = cfg.PerQueue[q]
 		}
-		queues[q] = queueState{
-			addr: bufDMA + uint64(q)*uint64(cfg.QueueStride),
-			mix:  compileMix(mod.Apply(cfg.Design)),
+		lp := getLatBuf()
+		s.queues[q] = queueState{
+			addr:   bufDMA + uint64(q)*uint64(cfg.QueueStride),
+			mix:    compileMix(mod.Apply(cfg.Design)),
+			lat:    *lp,
+			latPtr: lp,
+		}
+		if !s.closed {
+			bp := backlogPool.Get().(*[]pending)
+			s.queues[q].backlog = (*bp)[:0]
+			s.queues[q].backlogPtr = bp
 		}
 	}
 
-	var (
-		start    = k.Now()
-		issued   int
-		done     int
-		endAt    sim.Time
-		rerr     error
-		lat      = make([]float64, 0, pairs)
-		closed   = cfg.Arrival.Saturating()
-		pumpFn   func(q int)
-		issueOne func(q int, size int, arrival sim.Time)
-	)
-
-	// issueOne expands one packet pair into its transaction list at the
-	// current simulated time and schedules the completion bookkeeping.
-	issueOne = func(q, size int, arrival sim.Time) {
-		qs := &queues[q]
-		i := qs.count
-		qs.count++
-		qs.inFlight++
-		issued++
-		var pairEnd sim.Time
-		issueTxn := func(kind, bytes int) {
-			if rerr != nil {
-				return
-			}
-			switch kind {
-			case model.DMARead:
-				res, err := complex.DMARead(k.Now(), qs.addr, bytes)
-				if err != nil {
-					rerr = err
-					return
-				}
-				if res.Complete > pairEnd {
-					pairEnd = res.Complete
-				}
-			case model.DMAWrite:
-				res, err := complex.DMAWrite(k.Now(), qs.addr, bytes)
-				if err != nil {
-					rerr = err
-					return
-				}
-				if res.LinkDone > pairEnd {
-					pairEnd = res.LinkDone
-				}
-			case model.MMIOWrite:
-				if t := complex.MMIOWrite(k.Now(), bytes); t > pairEnd {
-					pairEnd = t
-				}
-			case model.MMIORead:
-				if t := complex.MMIORead(k.Now(), bytes, mmioReadLatency); t > pairEnd {
-					pairEnd = t
-				}
-			}
-		}
-		// Payload first — TX is a DMA read, RX a DMA write — then the
-		// design's amortized interactions.
-		issueTxn(model.DMARead, size)
-		issueTxn(model.DMAWrite, size)
-		for _, tx := range qs.mix {
-			if i%tx.every == 0 {
-				issueTxn(tx.kind, tx.bytes)
-			}
-		}
-		if rerr != nil {
-			return
-		}
-		k.At(pairEnd, func() {
-			qs.inFlight--
-			qs.pairs++
-			qs.bytes += int64(size)
-			sample := (pairEnd - arrival).Nanoseconds()
-			qs.lat = append(qs.lat, sample)
-			lat = append(lat, sample)
-			done++
-			if done == pairs {
-				endAt = k.Now()
-			}
-			pumpFn(q)
-		})
-	}
-
-	if closed {
-		// Closed loop: each queue refills its own window on completion.
-		pumpFn = func(q int) {
-			qs := &queues[q]
-			for qs.inFlight < cfg.Window && issued < pairs && rerr == nil {
-				now := k.Now()
-				issueOne(q, cfg.Sizes.Sample(rng), now)
-			}
-		}
-		k.After(0, func() {
-			for q := range queues {
-				pumpFn(q)
-			}
-		})
-	} else {
-		// Open loop: timed arrivals spread over the queues by flow
-		// hash; a full window queues the packet in software.
-		pumpFn = func(q int) {
-			qs := &queues[q]
-			for qs.inFlight < cfg.Window && len(qs.backlog) > 0 && rerr == nil {
-				p := qs.backlog[0]
-				qs.backlog = qs.backlog[1:]
-				issueOne(q, p.size, p.arrival)
-			}
-		}
-		var arrived int
-		var nextArrival func()
-		nextArrival = func() {
-			if arrived >= pairs || rerr != nil {
-				return
-			}
-			gap, batch := cfg.Arrival.NextGap(rng)
-			k.After(gap, func() {
-				for b := 0; b < batch && arrived < pairs; b++ {
-					arrived++
-					flow := rng.Intn(cfg.Flows)
-					q := queueOf(uint64(flow), cfg.Queues)
-					size := cfg.Sizes.Sample(rng)
-					qs := &queues[q]
-					if qs.inFlight < cfg.Window {
-						issueOne(q, size, k.Now())
-					} else {
-						qs.backlog = append(qs.backlog, pending{size: size, arrival: k.Now()})
-					}
-				}
-				nextArrival()
-			})
-		}
-		k.After(0, nextArrival)
-	}
-
+	start := k.Now()
+	k.AfterEvent(0, startEvent{s}, 0, 0)
 	k.Run()
-	if rerr != nil {
-		return nil, rerr
+	if s.err != nil {
+		return nil, s.err
 	}
-	if endAt == 0 || done != pairs {
-		return nil, fmt.Errorf("workload: run did not complete (%d/%d pairs)", done, pairs)
+	if s.endAt == 0 || s.done != pairs {
+		return nil, fmt.Errorf("workload: run did not complete (%d/%d pairs)", s.done, pairs)
 	}
 
-	elapsed := endAt - start
+	elapsed := s.endAt - start
 	secs := elapsed.Seconds()
 	res := &Result{
 		Pairs:      pairs,
@@ -479,9 +602,10 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 		PPS:        float64(pairs) / secs,
 		OfferedPPS: cfg.Arrival.OfferedPPS(),
 	}
+	var scratch stats.Scratch
 	var totalBytes int64
-	for q := range queues {
-		qs := &queues[q]
+	for q := range s.queues {
+		qs := &s.queues[q]
 		totalBytes += qs.bytes
 		st := QueueStats{
 			Queue: q,
@@ -490,12 +614,12 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 			Gbps:  float64(qs.bytes) * 8 / secs / 1e9,
 		}
 		if len(qs.lat) > 0 {
-			st.Latency, _ = stats.Summarize(qs.lat)
+			st.Latency, _ = scratch.Summarize(qs.lat)
 		}
 		res.Queues = append(res.Queues, st)
 	}
 	res.GbpsPerDirection = float64(totalBytes) * 8 / secs / 1e9
-	res.Latency, _ = stats.Summarize(lat)
+	res.Latency, _ = scratch.Summarize(s.lat)
 	return res, nil
 }
 
