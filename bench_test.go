@@ -21,6 +21,7 @@ import (
 	"pciebench/internal/sim"
 	"pciebench/internal/sysconf"
 	"pciebench/internal/tlp"
+	"pciebench/internal/topo"
 	"pciebench/internal/workload"
 )
 
@@ -393,6 +394,70 @@ func BenchmarkWorkload_PoissonBursts(b *testing.B) {
 	benchWorkload(b, workload.Config{
 		Queues: 4, Window: 8, Sizes: workload.IMIX(), Arrival: arr, Seed: 37,
 	}, 4000)
+}
+
+// ---- Topology benchmarks (internal/topo) ----
+
+// BenchmarkTopo_Contend4 saturates four NICs behind one Gen3 x8 switch
+// uplink and reports the aggregate rate and the p99 inflation of
+// sharing the link.
+func BenchmarkTopo_Contend4(b *testing.B) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	uplink := pcie.DefaultGen3x8()
+	var pps, p99 float64
+	for i := 0; i < b.N; i++ {
+		fab, err := sys.Fabric(topo.Shape{Endpoints: 4, Switch: &uplink},
+			sysconf.Options{BufferSize: 4 << 20, NoJitter: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := workload.Config{Seed: 37, BufferBytes: 4 << 20}
+		paths := make([]workload.Path, len(fab.Endpoints))
+		bases := make([]uint64, len(fab.Endpoints))
+		for j, ep := range fab.Endpoints {
+			ep.Buffer.WarmHost(0, cfg.Footprint())
+			paths[j] = ep.Port
+			bases[j] = ep.Buffer.DMAAddr(0)
+		}
+		res, err := workload.RunMulti(fab.Kernel, paths, bases, cfg, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps, p99 = res.PPS, res.Latency.P99
+	}
+	b.ReportMetric(pps/1e6, "Mpps")
+	b.ReportMetric(p99, "ns-p99")
+}
+
+// BenchmarkTopo_P2P compares device-to-device DMA against the bounce
+// through host DRAM (512B transfers) and reports both medians.
+func BenchmarkTopo_P2P(b *testing.B) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	uplink := pcie.DefaultGen3x8()
+	var direct, bounce float64
+	for i := 0; i < b.N; i++ {
+		run := func(mode string) float64 {
+			fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Switch: &uplink},
+				sysconf.Options{BufferSize: 4 << 20, NoJitter: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := topo.RunP2P(fab, mode, 512, 400)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return res.Latency.Median
+		}
+		direct, bounce = run(topo.P2PDirect), run(topo.P2PBounce)
+	}
+	b.ReportMetric(direct, "ns-direct")
+	b.ReportMetric(bounce, "ns-bounce")
 }
 
 // ---- Hot-path micro-benchmarks ----

@@ -31,10 +31,12 @@ import (
 	"strings"
 
 	"pciebench/internal/bench"
+	"pciebench/internal/pcie"
 	_ "pciebench/internal/report" // registers the paper-figure sweeps
 	"pciebench/internal/stats"
 	"pciebench/internal/sweep"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
 	"pciebench/internal/workload"
 )
 
@@ -62,6 +64,9 @@ type benchResult struct {
 	Gbps      float64          `json:"gbps,omitempty"`
 	TxnPerSec float64          `json:"txn_per_sec,omitempty"`
 	Workload  *workload.Result `json:"workload,omitempty"`
+	// Multi-endpoint topology runs fill WorkloadMulti or P2P instead.
+	WorkloadMulti *workload.MultiResult `json:"workload_multi,omitempty"`
+	P2P           *topo.P2PResult       `json:"p2p,omitempty"`
 }
 
 // run is the testable entry point.
@@ -72,8 +77,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
 		list       = fs.Bool("list", false, "list systems and exit")
+		listSys    = fs.Bool("list-systems", false, "list the Table-1 systems (name, CPU, adapter, link) and exit")
 		system     = fs.String("system", "NFP6000-HSW", "system under test (see -list)")
-		benchSel   = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr|workload")
+		benchSel   = fs.String("bench", "lat_rd", "lat_rd|lat_wrrd|bw_rd|bw_wr|bw_rdwr|workload|p2p")
 		window     = fs.String("window", "8K", "window size (supports K/M/G suffixes)")
 		transfer   = fs.Int("transfer", 64, "transfer size in bytes")
 		offset     = fs.Int("offset", 0, "offset from cache line start")
@@ -104,6 +110,12 @@ func run(args []string, stdout, stderr io.Writer) error {
 		nicSel   = fs.String("nic", "kernel", "workload: NIC/driver design (simple|kernel|dpdk)")
 		intrmod  = fs.String("intrmod", "", "workload: interrupt moderation (packets per interrupt, or poll)")
 		doorbell = fs.Int("doorbell", 0, "workload: doorbell batch override (0 = design default)")
+
+		// Topology knobs (-bench workload / -bench p2p).
+		endpoints = fs.Int("endpoints", 1, "topology: endpoint (NIC) count")
+		swSel     = fs.String("switch", "", "topology: shared switch uplink (none, on, or gen<G>x<L>)")
+		socketSel = fs.String("socket", "", "topology: endpoint placement (socket index or split)")
+		p2pMode   = fs.String("p2p", "direct", "p2p: transfer path (direct or bounce)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -140,6 +152,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *list {
 		for _, s := range sysconf.Systems() {
 			fmt.Fprintf(stdout, "%-16s %-28s %-12s %s\n", s.Name, s.CPU, s.Arch, s.Adapter)
+		}
+		return nil
+	}
+
+	if *listSys {
+		// Every Table-1 system negotiated the paper's Gen3 x8 link; the
+		// column shows that default (overridable per run with
+		// -run/-spec gen/lanes axes or sysconf.Options.Link).
+		link := pcie.DefaultGen3x8()
+		fmt.Fprintf(stdout, "%-16s %-28s %-16s %s\n", "SYSTEM", "CPU", "ADAPTER", "LINK (default)")
+		for _, s := range sysconf.Systems() {
+			fmt.Fprintf(stdout, "%-16s %-28s %-16s %s\n", s.Name, s.CPU, s.Adapter, link)
 		}
 		return nil
 	}
@@ -207,18 +231,86 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	win, err := sweep.ParseSize(*window)
-	if err != nil {
-		return err
-	}
-	inst, err := sys.Build(sysconf.Options{
+	opts := sysconf.Options{
 		Seed:       *seed,
 		IOMMU:      *iommuOn,
 		SuperPages: *sp,
 		BufferNode: *node,
-	})
+	}
+	shape := topo.Shape{Endpoints: *endpoints, Placement: *socketSel}
+	if *swSel != "" {
+		shape.Switch, err = topo.ParseSwitch(*swSel)
+		if err != nil {
+			return err
+		}
+	}
+	if !shape.Degenerate() && *benchSel != "workload" && *benchSel != "p2p" {
+		return fmt.Errorf("topology flags (-endpoints/-switch/-socket) apply to -bench workload or -bench p2p")
+	}
+
+	if *benchSel == "p2p" {
+		endpointsSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "endpoints" {
+				endpointsSet = true
+			}
+		})
+		if shape.Endpoints < 2 {
+			if endpointsSet {
+				return fmt.Errorf("-bench p2p needs -endpoints >= 2, got %d", shape.Endpoints)
+			}
+			shape.Endpoints = 2
+		}
+		// Default to a shared switch, except under split placement
+		// (which requires direct attachment to both sockets).
+		if shape.Switch == nil && *swSel == "" && *socketSel != "split" {
+			l := pcie.DefaultGen3x8()
+			shape.Switch = &l
+		}
+		fab, err := sys.Fabric(shape, opts)
+		if err != nil {
+			return err
+		}
+		for _, sw := range fab.Switches {
+			sw.EnableWaitSampling()
+		}
+		res, err := topo.RunP2P(fab, *p2pMode, *transfer, *n)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			out := benchResult{
+				Bench: "p2p", System: sys.Name, Adapter: sys.Adapter.String(),
+				Params: fmt.Sprintf("mode=%s transfer=%d endpoints=%d n=%d", res.Mode, res.Transfer, shape.Count(), *n),
+				P2P:    res,
+			}
+			enc := json.NewEncoder(stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(out)
+		}
+		fmt.Fprintf(stdout, "# p2p on %s (%s): mode=%s transfer=%d endpoints=%d n=%d\n",
+			sys.Name, sys.Adapter, res.Mode, res.Transfer, shape.Count(), *n)
+		fmt.Fprintf(stdout, "P2P %s  p50 %.0fns  p99 %.0fns  %.3f Gb/s\n",
+			res.Mode, res.Latency.Median, res.Latency.P99, res.Gbps)
+		if res.UplinkWait != nil {
+			fmt.Fprintf(stdout, "  uplink arb wait: p50 %.0fns  p99 %.0fns  max %.0fns\n",
+				res.UplinkWait.Median, res.UplinkWait.P99, res.UplinkWait.Max)
+		}
+		return nil
+	}
+
+	win, err := sweep.ParseSize(*window)
 	if err != nil {
 		return err
+	}
+	// Multi-endpoint workload runs build their own Fabric below; only
+	// degenerate shapes need the single-endpoint instance.
+	var inst *sysconf.Instance
+	if shape.Degenerate() {
+		inst, err = sys.Build(opts)
+		if err != nil {
+			return err
+		}
 	}
 
 	p := bench.Params{
@@ -247,7 +339,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("unknown cache state %q", *cache)
 	}
 
-	tgt := inst.Target()
+	var tgt *bench.Target
+	if inst != nil {
+		tgt = inst.Target()
+	}
 	out := benchResult{
 		Bench: *benchSel, System: sys.Name,
 		Adapter: sys.Adapter.String(), Params: p.String(),
@@ -285,13 +380,51 @@ func run(args []string, stdout, stderr io.Writer) error {
 			Queues: *queues, Flows: *flows, Window: *inflight,
 			Design: design, Sizes: dist, Arrival: arr,
 			Moderation: mod, Seed: *seed,
-			BufferBytes: inst.Buffer.Size,
 		}.WithDefaults()
 		out.Params = fmt.Sprintf("queues=%d flows=%d inflight=%d sizes=%s arrival=%s nic=%s n=%d",
 			cfg.Queues, cfg.Flows, cfg.Window, dist, arr, *nicSel, *n)
+		if !shape.Degenerate() {
+			out.Params += fmt.Sprintf(" endpoints=%d", shape.Count())
+			if shape.Switch != nil {
+				out.Params += fmt.Sprintf(" switch=%s", *shape.Switch)
+			}
+			if !*jsonOut {
+				fmt.Fprintf(stdout, "# workload on %s (%s): %s\n", sys.Name, sys.Adapter, out.Params)
+			}
+			fab, err := sys.Fabric(shape, opts)
+			if err != nil {
+				return err
+			}
+			cfg.BufferBytes = fab.Endpoints[0].Buffer.Size
+			for _, sw := range fab.Switches {
+				sw.EnableWaitSampling()
+			}
+			mres, err := topo.RunWorkload(fab, cfg, *n)
+			if err != nil {
+				return err
+			}
+			if *jsonOut {
+				out.WorkloadMulti = mres
+				break
+			}
+			fmt.Fprintf(stdout, "WORKLOAD %.3fM pps  %.3f Gb/s/dir  p50 %.0fns  p99 %.0fns  p99.9 %.0fns  elapsed %v\n",
+				mres.PPS/1e6, mres.GbpsPerDirection, mres.Latency.Median, mres.Latency.P99, mres.Latency.P999, mres.Elapsed)
+			for _, ep := range mres.Endpoints {
+				fmt.Fprintf(stdout, "  ep%-2d %7d pairs  %8.3fM pps  %7.3f Gb/s  p50 %.0fns  p99 %.0fns\n",
+					ep.Endpoint, ep.Pairs, ep.PPS/1e6, ep.GbpsPerDirection, ep.Latency.Median, ep.Latency.P99)
+			}
+			for _, sw := range fab.Switches {
+				if ws, ok := sw.WaitSummary(true); ok {
+					fmt.Fprintf(stdout, "  uplink arb wait: p50 %.0fns  p99 %.0fns  max %.0fns\n",
+						ws.Median, ws.P99, ws.Max)
+				}
+			}
+			break
+		}
 		if !*jsonOut {
 			fmt.Fprintf(stdout, "# workload on %s (%s): %s\n", sys.Name, sys.Adapter, out.Params)
 		}
+		cfg.BufferBytes = inst.Buffer.Size
 		inst.Buffer.WarmHost(0, cfg.Footprint())
 		res, err := workload.Run(inst.Kernel, inst.RC, inst.Buffer.DMAAddr(0), cfg, *n)
 		if err != nil {

@@ -164,3 +164,71 @@ func TestBadArguments(t *testing.T) {
 		}
 	}
 }
+
+func TestListSystemsTable(t *testing.T) {
+	out, err := runCLI(t, "-list-systems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SYSTEM", "CPU", "ADAPTER", "LINK", "NFP6000-HSW", "Gen3 x8"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list-systems missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestP2PBench(t *testing.T) {
+	out, err := runCLI(t, "-bench", "p2p", "-transfer", "256", "-n", "60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "P2P direct") || !strings.Contains(out, "Gb/s") {
+		t.Errorf("p2p output malformed:\n%s", out)
+	}
+	out, err = runCLI(t, "-bench", "p2p", "-p2p", "bounce", "-transfer", "256", "-n", "60", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("p2p -json not JSON: %v\n%s", err, out)
+	}
+	if res.P2P == nil || res.P2P.Mode != "bounce" || res.P2P.Gbps <= 0 {
+		t.Errorf("p2p -json payload malformed: %+v", res.P2P)
+	}
+}
+
+func TestMultiEndpointWorkload(t *testing.T) {
+	out, err := runCLI(t, "-bench", "workload", "-endpoints", "2", "-switch", "gen3x8", "-n", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"WORKLOAD", "ep0", "ep1", "uplink arb wait"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("multi-endpoint workload output missing %q:\n%s", want, out)
+		}
+	}
+	out, err = runCLI(t, "-bench", "workload", "-endpoints", "2", "-switch", "on", "-n", "200", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res benchResult
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("-json not JSON: %v\n%s", err, out)
+	}
+	if res.WorkloadMulti == nil || len(res.WorkloadMulti.Endpoints) != 2 {
+		t.Errorf("workload_multi payload malformed: %+v", res.WorkloadMulti)
+	}
+}
+
+func TestTopologyFlagErrors(t *testing.T) {
+	if _, err := runCLI(t, "-bench", "bw_rd", "-endpoints", "2", "-switch", "on"); err == nil {
+		t.Error("topology flags on bw_rd accepted")
+	}
+	if _, err := runCLI(t, "-bench", "workload", "-switch", "gen9x9", "-n", "50"); err == nil {
+		t.Error("bad switch selector accepted")
+	}
+	if _, err := runCLI(t, "-bench", "p2p", "-p2p", "sideways", "-n", "50"); err == nil {
+		t.Error("bad p2p mode accepted")
+	}
+}

@@ -1,0 +1,187 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+
+	"pciebench/internal/device"
+	"pciebench/internal/sim"
+	"pciebench/internal/stats"
+)
+
+// EndpointBandwidth is one endpoint's share of a concurrent
+// multi-endpoint bandwidth run.
+type EndpointBandwidth struct {
+	// Endpoint indexes the target the traffic ran on.
+	Endpoint int
+	// Gbps is the endpoint's per-direction payload throughput over its
+	// own measurement span.
+	Gbps float64
+	// TxnPerSec is the endpoint's DMA completion rate.
+	TxnPerSec float64
+	// Latency summarizes the endpoint's per-DMA completion latency in
+	// ns (submission to device-visible completion, quantized to the
+	// device counter) — the host-interface queueing that shared-uplink
+	// contention inflates.
+	Latency stats.Summary
+}
+
+// MultiEndpointResult is the outcome of a concurrent multi-endpoint
+// bandwidth benchmark: every endpoint saturates its engine at once, so
+// their traffic contends for whatever the topology shares.
+type MultiEndpointResult struct {
+	Name   string
+	Params Params
+	// AggregateGbps sums the endpoints' per-direction throughput.
+	AggregateGbps float64
+	// Latency summarizes per-DMA completion latency across all
+	// endpoints.
+	Latency stats.Summary
+	// Endpoints holds the per-endpoint breakdown.
+	Endpoints []EndpointBandwidth
+}
+
+// BwRdMulti runs BW_RD on every target concurrently (one shared
+// kernel) and reports aggregate plus per-endpoint results.
+func BwRdMulti(ts []*Target, p Params) (*MultiEndpointResult, error) {
+	return runBandwidthMulti(ts, p, bwRd)
+}
+
+// BwWrMulti is the concurrent multi-endpoint BW_WR.
+func BwWrMulti(ts []*Target, p Params) (*MultiEndpointResult, error) {
+	return runBandwidthMulti(ts, p, bwWr)
+}
+
+// BwRdWrMulti is the concurrent multi-endpoint BW_RDWR.
+func BwRdWrMulti(ts []*Target, p Params) (*MultiEndpointResult, error) {
+	return runBandwidthMulti(ts, p, bwRdWr)
+}
+
+// epRun is one endpoint's bookkeeping inside runBandwidthMulti.
+type epRun struct {
+	t           *Target
+	gen         *addrGen
+	issued      int
+	completed   int
+	measureFrom sim.Time
+	measureTo   sim.Time
+	lat         []float64
+	submit      func()
+}
+
+// runBandwidthMulti drives every target's engine saturated at once.
+// All targets must share one simulation kernel (one Fabric). Each
+// endpoint issues warmup plus p.Transactions DMAs; its bandwidth is
+// measured over its own steady-state span, and per-DMA latency samples
+// feed the percentile summaries.
+func runBandwidthMulti(ts []*Target, p Params, kind bwKind) (*MultiEndpointResult, error) {
+	if len(ts) == 0 {
+		return nil, errors.New("bench: no targets")
+	}
+	k := ts[0].Engine.Kernel()
+	for i, t := range ts {
+		if t.Engine.Kernel() != k {
+			return nil, fmt.Errorf("bench: target %d is on a different kernel; multi-endpoint runs need one fabric", i)
+		}
+		if err := p.Validate(t.Buffer.Size); err != nil {
+			return nil, err
+		}
+	}
+	// One shared memory system: thrash once, then establish the cache
+	// state per endpoint window.
+	ts[0].Host.Thrash()
+	for _, t := range ts {
+		switch p.Cache {
+		case HostWarm:
+			t.Buffer.WarmHost(0, p.WindowSize)
+		case DeviceWarm:
+			t.Buffer.WarmDevice(0, p.WindowSize)
+		}
+	}
+
+	warm := p.warmup()
+	if kind != bwRd && p.Cache == Cold {
+		warm = p.warmupWrites()
+	}
+	total := warm + p.Transactions
+	name := map[bwKind]string{bwRd: "BW_RD", bwWr: "BW_WR", bwRdWr: "BW_RDWR"}[kind]
+
+	var rerr error
+	eps := make([]*epRun, len(ts))
+	for i, t := range ts {
+		ep := &epRun{t: t, gen: newAddrGen(t, p), lat: make([]float64, 0, p.Transactions)}
+		eps[i] = ep
+		onDone := func(c device.Completion) {
+			if c.Err != nil && rerr == nil {
+				rerr = c.Err
+			}
+			ep.completed++
+			if ep.completed > warm && ep.completed <= total {
+				ep.lat = append(ep.lat, ep.t.Engine.Quantize(c.Done-c.Submitted).Nanoseconds())
+			}
+			if ep.completed == warm {
+				ep.measureFrom = k.Now()
+			}
+			if ep.completed == total {
+				ep.measureTo = k.Now()
+			}
+			ep.submit()
+		}
+		ep.submit = func() {
+			if ep.issued >= total || rerr != nil {
+				return
+			}
+			i := ep.issued
+			ep.issued++
+			write := kind == bwWr || (kind == bwRdWr && i%2 == 1)
+			ep.t.Engine.Submit(device.Op{
+				Write:  write,
+				DMA:    ep.gen.next(),
+				Size:   p.TransferSize,
+				OnDone: onDone,
+			})
+		}
+	}
+	// Prime round-robin across endpoints so no endpoint gets a head
+	// start on the shared resources.
+	k.After(0, func() {
+		burst := 2 * ts[0].Engine.Config().MaxInFlight
+		if burst > total {
+			burst = total
+		}
+		for b := 0; b < burst; b++ {
+			for _, ep := range eps {
+				ep.submit()
+			}
+		}
+	})
+	k.Run()
+	if rerr != nil {
+		return nil, rerr
+	}
+
+	res := &MultiEndpointResult{Name: name, Params: p}
+	var scratch stats.Scratch
+	var all []float64
+	for i, ep := range eps {
+		if ep.measureTo <= ep.measureFrom {
+			return nil, fmt.Errorf("bench: endpoint %d: degenerate measurement span", i)
+		}
+		elapsed := ep.measureTo - ep.measureFrom
+		bytesMoved := float64(p.Transactions) * float64(p.TransferSize)
+		if kind == bwRdWr {
+			bytesMoved /= 2 // per-direction accounting (§6.1 reporting)
+		}
+		eb := EndpointBandwidth{
+			Endpoint:  i,
+			Gbps:      bytesMoved * 8 / elapsed.Seconds() / 1e9,
+			TxnPerSec: float64(p.Transactions) / elapsed.Seconds(),
+		}
+		eb.Latency, _ = scratch.Summarize(ep.lat)
+		all = append(all, ep.lat...)
+		res.AggregateGbps += eb.Gbps
+		res.Endpoints = append(res.Endpoints, eb)
+	}
+	res.Latency, _ = scratch.Summarize(all)
+	return res, nil
+}

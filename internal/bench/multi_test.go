@@ -1,0 +1,108 @@
+package bench_test
+
+import (
+	"testing"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
+)
+
+// bench_test (external) because these tests drive bench through
+// sysconf-built fabrics, and sysconf imports bench.
+
+func multiTargets(t *testing.T, n int) []*bench.Target {
+	t.Helper()
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := topo.ParseSwitch("gen3x8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := sys.Fabric(topo.Shape{Endpoints: n, Switch: sw}, sysconf.Options{Seed: 1, NoJitter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := make([]*bench.Target, n)
+	for i, ep := range fab.Endpoints {
+		ts[i] = &bench.Target{Host: fab.Host, Engine: ep.Engine, Buffer: ep.Buffer}
+	}
+	return ts
+}
+
+func multiParams() bench.Params {
+	return bench.Params{
+		WindowSize:   8 << 10,
+		TransferSize: 512,
+		Transactions: 600,
+		Cache:        bench.HostWarm,
+	}
+}
+
+// TestBwMultiContention: four endpoints behind one uplink split the
+// bandwidth one endpoint gets alone, and their per-DMA latency
+// inflates — the bench-level view of shared-uplink contention.
+func TestBwMultiContention(t *testing.T) {
+	p := multiParams()
+	solo, err := bench.BwRdMulti(multiTargets(t, 1), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quad, err := bench.BwRdMulti(multiTargets(t, 4), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quad.Endpoints) != 4 {
+		t.Fatalf("endpoint results = %d, want 4", len(quad.Endpoints))
+	}
+	soloG := solo.Endpoints[0].Gbps
+	var min, max float64
+	for i, ep := range quad.Endpoints {
+		if i == 0 || ep.Gbps < min {
+			min = ep.Gbps
+		}
+		if ep.Gbps > max {
+			max = ep.Gbps
+		}
+		if ep.Latency.N == 0 {
+			t.Errorf("endpoint %d has no latency samples", i)
+		}
+	}
+	if max >= soloG {
+		t.Errorf("contended endpoint reached %.2f Gb/s, above the uncontended %.2f", max, soloG)
+	}
+	if min/max < 0.85 {
+		t.Errorf("unfair partitioning: %.2f vs %.2f Gb/s", min, max)
+	}
+	if quad.Latency.P99 <= solo.Latency.P99 {
+		t.Errorf("contended p99 %.0fns not above uncontended %.0fns", quad.Latency.P99, solo.Latency.P99)
+	}
+	// One 512B-read endpoint already saturates the shared uplink, so
+	// the 4-way aggregate holds that line rather than exceeding it.
+	if quad.AggregateGbps < 0.9*soloG {
+		t.Errorf("aggregate %.2f Gb/s collapsed below the uncontended %.2f", quad.AggregateGbps, soloG)
+	}
+}
+
+// TestBwMultiKinds smoke-tests the write and mixed kinds.
+func TestBwMultiKinds(t *testing.T) {
+	p := multiParams()
+	if _, err := bench.BwWrMulti(multiTargets(t, 2), p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bench.BwRdWrMulti(multiTargets(t, 2), p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBwMultiRejectsMixedKernels: targets from different fabrics
+// cannot contend and are rejected.
+func TestBwMultiRejectsMixedKernels(t *testing.T) {
+	a := multiTargets(t, 1)
+	b := multiTargets(t, 1)
+	if _, err := bench.BwRdMulti([]*bench.Target{a[0], b[0]}, multiParams()); err == nil {
+		t.Error("targets on different kernels accepted")
+	}
+}

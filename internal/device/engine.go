@@ -3,6 +3,11 @@
 // device-internal staging costs and quantized timestamping. The NFP and
 // NetFPGA models (subpackages nfp and netfpga) are parameterizations of
 // this engine matching the architectures described in paper §5.1/§5.2.
+//
+// An engine binds to a Path — any attachment point into the PCIe
+// fabric. The degenerate single-device systems pass the *rc.RootComplex
+// itself; multi-endpoint topologies bind each engine to its own
+// *rc.Port, possibly below a shared switch.
 package device
 
 import (
@@ -11,6 +16,14 @@ import (
 	"pciebench/internal/rc"
 	"pciebench/internal/sim"
 )
+
+// Path is the engine's view of its attachment into the PCIe fabric.
+// Both *rc.RootComplex (port 0 of the degenerate topology) and *rc.Port
+// implement it.
+type Path interface {
+	DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter sim.Time) (rc.ReadResult, error)
+	DMAWrite(at sim.Time, dma uint64, sz int) (rc.WriteResult, error)
+}
 
 // Config parameterizes a DMA engine.
 type Config struct {
@@ -107,7 +120,7 @@ type Op struct {
 // Engine is a device DMA engine bound to a root complex.
 type Engine struct {
 	k   *sim.Kernel
-	rc  *rc.RootComplex
+	rc  Path
 	cfg Config
 
 	issue    *sim.Server // descriptor issue stage
@@ -161,19 +174,19 @@ func (f finishEvent) Handle(_ *sim.Kernel, idx, _ int64) {
 	}
 }
 
-// New builds an engine.
-func New(k *sim.Kernel, complex *rc.RootComplex, cfg Config) (*Engine, error) {
+// New builds an engine on the given fabric attachment.
+func New(k *sim.Kernel, path Path, cfg Config) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Engine{k: k, rc: complex, cfg: cfg, issue: sim.NewServer(k)}, nil
+	return &Engine{k: k, rc: path, cfg: cfg, issue: sim.NewServer(k)}, nil
 }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
 
-// RC returns the attached root complex.
-func (e *Engine) RC() *rc.RootComplex { return e.rc }
+// Path returns the engine's fabric attachment.
+func (e *Engine) Path() Path { return e.rc }
 
 // Kernel returns the simulation kernel.
 func (e *Engine) Kernel() *sim.Kernel { return e.k }

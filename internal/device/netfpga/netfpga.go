@@ -12,7 +12,6 @@ package netfpga
 
 import (
 	"pciebench/internal/device"
-	"pciebench/internal/rc"
 	"pciebench/internal/sim"
 )
 
@@ -46,7 +45,7 @@ func Config() device.Config {
 	}
 }
 
-// New builds a NetFPGA-SUME engine on the given root complex.
-func New(k *sim.Kernel, complex *rc.RootComplex) (*device.Engine, error) {
-	return device.New(k, complex, Config())
+// New builds a NetFPGA-SUME engine on the given fabric attachment.
+func New(k *sim.Kernel, path device.Path) (*device.Engine, error) {
+	return device.New(k, path, Config())
 }

@@ -17,7 +17,6 @@ package nfp
 
 import (
 	"pciebench/internal/device"
-	"pciebench/internal/rc"
 	"pciebench/internal/sim"
 )
 
@@ -61,7 +60,7 @@ func Config() device.Config {
 	}
 }
 
-// New builds an NFP-6000 engine on the given root complex.
-func New(k *sim.Kernel, complex *rc.RootComplex) (*device.Engine, error) {
-	return device.New(k, complex, Config())
+// New builds an NFP-6000 engine on the given fabric attachment.
+func New(k *sim.Kernel, path device.Path) (*device.Engine, error) {
+	return device.New(k, path, Config())
 }

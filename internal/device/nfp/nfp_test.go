@@ -35,7 +35,7 @@ func hostRC(t *testing.T, k *sim.Kernel) (*rc.RootComplex, *mem.System) {
 }
 
 // readLatency measures one warm read of size sz on engine build.
-func readLatency(t *testing.T, build func(*sim.Kernel, *rc.RootComplex) (*device.Engine, error), sz int, direct bool) sim.Time {
+func readLatency(t *testing.T, build func(*sim.Kernel, device.Path) (*device.Engine, error), sz int, direct bool) sim.Time {
 	t.Helper()
 	k := sim.New(3)
 	r, ms := hostRC(t, k)

@@ -81,6 +81,15 @@ func (s *System) Node(i int) *Cache { return s.nodes[i] }
 // complex issues the line fetches in parallel and the paper's
 // size-dependent costs are serialization, which the caller models.
 func (s *System) Access(write bool, home int, addr uint64, size int) sim.Time {
+	return s.AccessFrom(write, 0, home, addr, size)
+}
+
+// AccessFrom generalizes Access to a device attached to NUMA node from:
+// the remote-interconnect penalty applies when the target's home node
+// differs from the device's, not just when it differs from node 0. The
+// multi-socket topology layer routes each port's traffic through its
+// own socket with this; Access remains the node-0 special case.
+func (s *System) AccessFrom(write bool, from, home int, addr uint64, size int) sim.Time {
 	if home < 0 || home >= len(s.nodes) {
 		home = 0
 	}
@@ -109,7 +118,7 @@ func (s *System) Access(write bool, home int, addr uint64, size int) sim.Time {
 				lat = s.cfg.DRAMLatency
 			}
 		}
-		if home != 0 {
+		if home != from {
 			lat += s.cfg.RemoteLatency
 		}
 		return lat
@@ -140,7 +149,7 @@ func (s *System) Access(write bool, home int, addr uint64, size int) sim.Time {
 			worst = lat
 		}
 	}
-	if home != 0 {
+	if home != from {
 		worst += s.cfg.RemoteLatency
 	}
 	return worst

@@ -1,5 +1,7 @@
-// Package rc models the PCIe root complex: the component connecting the
-// processor/memory subsystem to the PCIe fabric (paper footnote 1).
+// Package rc models the PCIe host interface as a multi-port router: the
+// root complex connecting the processor/memory subsystem to a PCIe
+// fabric of sockets, switches and endpoint ports (paper footnote 1,
+// generalized beyond the paper's single-adapter setups).
 //
 // The root complex is where the paper's host-side effects meet: inbound
 // TLPs are serialized on the device→host link direction, processed by a
@@ -8,6 +10,20 @@
 // system (LLC/DDIO/DRAM/NUMA), and — for reads — answered with
 // completions split at the Read Completion Boundary and bounded by MPS,
 // serialized on the host→device direction.
+//
+// # Topology
+//
+// A RootComplex owns one or more Sockets (each a root-complex pipeline
+// in front of its NUMA node's memory controller), Switches (a shared,
+// arbitrated uplink with DLL flow-control credit pools), and Ports
+// (endpoint attachment points, each with its own link). A Port attaches
+// either directly to a socket's root port or below a switch; DMA issued
+// on a Port routes by address — host memory by default, or a peer
+// port's BAR window for device-to-device transfers. NewRouter builds an
+// empty router; New builds the degenerate one-socket one-port form used
+// by the paper's Table-1 systems and keeps the original single-device
+// API on the RootComplex itself (delegating to port 0), so existing
+// callers and results are unchanged.
 //
 // All timing uses the virtual-clock resources from internal/sim, so a
 // transaction's full timeline is computed in one pass; the event kernel
@@ -23,7 +39,6 @@ import (
 	"pciebench/internal/mem"
 	"pciebench/internal/pcie"
 	"pciebench/internal/sim"
-	"pciebench/internal/tlp"
 	"pciebench/internal/trace"
 )
 
@@ -41,7 +56,8 @@ type AddressMap interface {
 	HomeOf(pa uint64) int
 }
 
-// Config shapes the root complex.
+// Config shapes the degenerate (one-socket, one-port) root complex
+// built by New: the link of port 0 plus the calibration of socket 0.
 type Config struct {
 	// Link is the negotiated PCIe link.
 	Link pcie.LinkConfig
@@ -76,36 +92,9 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// RootComplex is the simulated root complex plus the two directions of
-// the PCIe link connecting it to the device under test.
-type RootComplex struct {
-	k    *sim.Kernel
-	cfg  Config
-	ms   *mem.System
-	mmu  *iommu.IOMMU // nil when disabled
-	amap AddressMap
-
-	up   *sim.Server // device -> host (requests, write data)
-	down *sim.Server // host -> device (completions, MMIO requests)
-	pipe *sim.MultiServer
-
-	// Per-link constants hoisted out of the DMA hot path at New time:
-	// header byte counts, the serialization time of the fixed-size read
-	// request TLP, and a lazily filled lookup table of BytesTime values
-	// for every wire size up to MPS plus headers. The table entries are
-	// produced by the same LinkConfig.BytesTime arithmetic, so cached
-	// and uncached timings are bit-identical.
-	reqHdr  int
-	cplHdr  int
-	wrHdr   int
-	reqTime sim.Time
-	btLUT   []sim.Time
-
-	tracer  trace.Tracer
-	scratch []byte // tracer encode buffer, reused across TLPs
-	payload []byte // tracer zero-payload buffer, reused across TLPs
-
-	// Statistics.
+// LinkStats counts the TLPs and wire bytes crossing one endpoint link,
+// per direction, plus the DMA operations that generated them.
+type LinkStats struct {
 	UpTLPs    uint64
 	UpBytes   uint64
 	DownTLPs  uint64
@@ -114,123 +103,199 @@ type RootComplex struct {
 	WriteOps  uint64
 }
 
-// New builds a root complex. ms is required; mmu and amap may be nil.
+// SocketConfig calibrates one socket's root-complex pipeline.
+type SocketConfig struct {
+	// Node is the NUMA node whose memory controller this socket hosts.
+	Node int
+	// PipeLatency and PipeSlots shape the socket's TLP pipeline as in
+	// Config.
+	PipeLatency sim.Time
+	PipeSlots   int
+	// Jitter optionally perturbs per-TLP processing (nil = none).
+	Jitter Jitter
+}
+
+// Socket is one CPU socket's root-complex pipeline: ports and switch
+// uplinks attach to it, and DMA it ingests targets its node's memory
+// controller locally or crosses the inter-socket interconnect.
+type Socket struct {
+	node        int
+	pipe        *sim.MultiServer
+	pipeLatency sim.Time
+	jitter      Jitter
+}
+
+// Node returns the NUMA node this socket's memory controller owns.
+func (s *Socket) Node() int { return s.node }
+
+// InterconnectConfig models the socket-to-socket interconnect (QPI/UPI)
+// a DMA crosses when its ingress socket is not the target's home.
+// mem.Config.RemoteLatency already charges the per-access remote
+// penalty the paper measured (§6.4); this adds explicit bandwidth
+// contention on the shared bus for multi-socket topologies.
+type InterconnectConfig struct {
+	// Latency is the extra one-way latency per crossing, on top of the
+	// memory system's RemoteLatency calibration (often 0).
+	Latency sim.Time
+	// PSPerByte is the serialization cost of the payload on the bus in
+	// picoseconds per byte (0 = latency only).
+	PSPerByte int64
+	// Shared serializes crossings on one bus resource, so concurrent
+	// remote DMA streams queue behind each other.
+	Shared bool
+}
+
+// barRange maps a bus-address window to the peer port owning it.
+type barRange struct {
+	lo, hi uint64
+	port   *Port
+}
+
+// RootComplex is the multi-port router: sockets, switches, endpoint
+// ports and the address map that routes DMA between them. The zero
+// value is not usable; build one with New or NewRouter.
+//
+// The embedded LinkStats and the DMA/MMIO methods are the original
+// single-device API, aliased to port 0 so the degenerate topology is a
+// strict drop-in for the previous implementation.
+type RootComplex struct {
+	k    *sim.Kernel
+	cfg  Config
+	ms   *mem.System
+	mmu  *iommu.IOMMU // nil when disabled
+	amap AddressMap
+
+	sockets  []*Socket
+	switches []*Switch
+	ports    []*Port
+	ranges   []barRange
+
+	xcfg *InterconnectConfig
+	xbus *sim.Server // non-nil when xcfg.Shared
+
+	// Statistics of port 0 (the degenerate single-device form).
+	LinkStats
+}
+
+// NewRouter builds an empty multi-port router: add sockets, switches
+// and ports with the builder methods. ms is required; mmu and amap may
+// be nil.
+func NewRouter(k *sim.Kernel, ms *mem.System, mmu *iommu.IOMMU, amap AddressMap) *RootComplex {
+	return &RootComplex{k: k, ms: ms, mmu: mmu, amap: amap}
+}
+
+// New builds the degenerate one-socket, one-port root complex the
+// paper's systems use. ms is required; mmu and amap may be nil.
 func New(k *sim.Kernel, cfg Config, ms *mem.System, mmu *iommu.IOMMU, amap AddressMap) (*RootComplex, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	link := cfg.Link
-	r := &RootComplex{
-		k:      k,
-		cfg:    cfg,
-		ms:     ms,
-		mmu:    mmu,
-		amap:   amap,
-		up:     sim.NewServer(k),
-		down:   sim.NewServer(k),
-		pipe:   sim.NewMultiServer(k, cfg.PipeSlots),
-		reqHdr: pcie.MRdHeaderBytes(link.Addr64, link.ECRC),
-		cplHdr: pcie.CplDHeaderBytes(link.ECRC),
-		wrHdr:  pcie.MWrHeaderBytes(link.Addr64, link.ECRC),
+	r := NewRouter(k, ms, mmu, amap)
+	sock, err := r.AddSocket(SocketConfig{
+		Node: 0, PipeLatency: cfg.PipeLatency, PipeSlots: cfg.PipeSlots, Jitter: cfg.Jitter,
+	})
+	if err != nil {
+		return nil, err
 	}
-	r.reqTime = sim.Time(link.BytesTime(r.reqHdr))
-	// Completions and writes top out at MPS payload plus their header;
-	// the slack covers MMIO writes of small registers. Larger one-off
-	// wires (rare) fall back to the direct computation.
-	r.btLUT = make([]sim.Time, link.MPS+r.wrHdr+64)
+	if _, err := r.AddPort(PortConfig{Link: cfg.Link, WireDelay: cfg.WireDelay}, sock, nil); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
-// bytesTime returns the serialization time of n wire bytes, memoizing
-// the per-size result. Entry 0 doubles as the "unfilled" sentinel: any
-// positive byte count serializes in at least one picosecond on every
-// supported link, so a cached zero never collides with a real value.
-func (r *RootComplex) bytesTime(n int) sim.Time {
-	if n < len(r.btLUT) {
-		if v := r.btLUT[n]; v != 0 {
-			return v
-		}
-		v := sim.Time(r.cfg.Link.BytesTime(n))
-		r.btLUT[n] = v
-		return v
+// AddSocket adds a socket (root-complex pipeline) to the router,
+// enforcing the same calibration rules Config.Validate applied to the
+// degenerate constructor.
+func (r *RootComplex) AddSocket(cfg SocketConfig) (*Socket, error) {
+	if cfg.Node < 0 {
+		return nil, fmt.Errorf("rc: socket node %d", cfg.Node)
 	}
-	return sim.Time(r.cfg.Link.BytesTime(n))
+	if cfg.PipeLatency <= 0 {
+		return nil, fmt.Errorf("rc: PipeLatency must be positive")
+	}
+	if cfg.PipeSlots < 1 {
+		return nil, fmt.Errorf("rc: PipeSlots must be >= 1")
+	}
+	s := &Socket{
+		node:        cfg.Node,
+		pipe:        sim.NewMultiServer(r.k, cfg.PipeSlots),
+		pipeLatency: cfg.PipeLatency,
+		jitter:      cfg.Jitter,
+	}
+	r.sockets = append(r.sockets, s)
+	return s, nil
 }
 
-// SetTracer installs a TLP tracer; every request, write and completion
-// crossing the link is then emitted as a wire-exact record at its
-// serialization-complete time. A nil tracer (the default) costs
-// nothing.
-func (r *RootComplex) SetTracer(t trace.Tracer) { r.tracer = t }
-
-// zeroPayload returns an all-zero n-byte payload from the root complex's
-// reusable buffer. The simulator tracks timing, not data, so traced TLPs
-// always carry zero payloads; the buffer is never written after
-// allocation, which keeps pooled and freshly allocated records
-// byte-identical (asserted by TestTracedTLPsByteIdentical).
-func (r *RootComplex) zeroPayload(n int) []byte {
-	if cap(r.payload) < n {
-		r.payload = make([]byte, n)
-	}
-	return r.payload[:n]
-}
-
-// traceMemReq emits a traced memory request TLP.
-func (r *RootComplex) traceMemReq(at sim.Time, write bool, addr uint64, n int) {
-	if r.tracer == nil {
-		return
-	}
-	lenDW, fbe, lbe, err := tlp.BERange(addr, n)
-	if err != nil {
-		return
-	}
-	var perr error
-	if write {
-		w := tlp.MemWrite{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, Addr64: true, Data: r.zeroPayload(n)}
-		r.scratch, perr = w.AppendTo(r.scratch[:0])
+// SetInterconnect configures the inter-socket interconnect. Without it,
+// cross-socket DMA pays only the memory system's RemoteLatency.
+func (r *RootComplex) SetInterconnect(cfg InterconnectConfig) {
+	r.xcfg = &cfg
+	if cfg.Shared {
+		r.xbus = sim.NewServer(r.k)
 	} else {
-		rd := tlp.MemRead{Addr: addr &^ 0x3, FirstBE: fbe, LastBE: lbe, LengthDW: lenDW, Addr64: true}
-		r.scratch, perr = rd.AppendTo(r.scratch[:0])
-	}
-	if perr == nil {
-		r.tracer.Trace(at, trace.DeviceToHost, r.scratch)
+		r.xbus = nil
 	}
 }
 
-// traceCpl emits a traced completion TLP.
-func (r *RootComplex) traceCpl(at sim.Time, addr uint64, n, remaining int) {
-	if r.tracer == nil {
-		return
+// crossSock charges the interconnect for n payload bytes crossing
+// between sock and the home node at time t, returning the time the
+// transfer lands on the far side. Same-socket traffic and routers
+// without an interconnect pass through unchanged.
+func (r *RootComplex) crossSock(t sim.Time, sock *Socket, home, n int) sim.Time {
+	if r.xcfg == nil || home == sock.node {
+		return t
 	}
-	c := tlp.Completion{
-		Status: tlp.CplSuccess, ByteCount: remaining,
-		LowerAddr: uint8(addr & 0x7F), Data: r.zeroPayload(n),
+	d := r.xcfg.Latency + sim.Time(r.xcfg.PSPerByte*int64(n))
+	if r.xbus != nil {
+		return r.xbus.ScheduleAt(t, d)
 	}
-	var perr error
-	r.scratch, perr = c.AppendTo(r.scratch[:0])
-	if perr == nil {
-		r.tracer.Trace(at, trace.HostToDevice, r.scratch)
-	}
+	return t + d
 }
 
-// Config returns the configuration.
+// Sockets returns the router's sockets.
+func (r *RootComplex) Sockets() []*Socket { return r.sockets }
+
+// Switches returns the router's switches.
+func (r *RootComplex) Switches() []*Switch { return r.switches }
+
+// Ports returns the router's endpoint ports.
+func (r *RootComplex) Ports() []*Port { return r.ports }
+
+// Port returns endpoint port i.
+func (r *RootComplex) Port(i int) *Port { return r.ports[i] }
+
+// peerOf returns the port owning the BAR window containing addr, or nil
+// when addr targets host memory. The common case (no BAR windows
+// registered) is a single length check.
+func (r *RootComplex) peerOf(addr uint64) *Port {
+	for i := range r.ranges {
+		if rg := &r.ranges[i]; addr >= rg.lo && addr < rg.hi {
+			return rg.port
+		}
+	}
+	return nil
+}
+
+// Config returns the degenerate single-device view of the router:
+// port 0's link and wire delay plus its socket's pipeline calibration.
+// For a router built by New this is exactly the Config passed in.
 func (r *RootComplex) Config() Config { return r.cfg }
 
-// Link returns the link configuration.
-func (r *RootComplex) Link() pcie.LinkConfig { return r.cfg.Link }
+// Link returns port 0's link configuration.
+func (r *RootComplex) Link() pcie.LinkConfig { return r.ports[0].Link() }
 
+// SetTracer installs a TLP tracer on port 0; every request, write and
+// completion crossing that link is then emitted as a wire-exact record
+// at its serialization-complete time. A nil tracer (the default) costs
+// nothing.
+func (r *RootComplex) SetTracer(t trace.Tracer) { r.ports[0].SetTracer(t) }
+
+// home resolves a physical address to its NUMA node.
 func (r *RootComplex) home(pa uint64) int {
 	if r.amap == nil {
 		return 0
 	}
 	return r.amap.HomeOf(pa)
-}
-
-func (r *RootComplex) jitter() sim.Time {
-	if r.cfg.Jitter == nil {
-		return 0
-	}
-	return r.cfg.Jitter.Sample(r.k.Rand())
 }
 
 // translate resolves a DMA address at the given time, returning the
@@ -246,235 +311,37 @@ func (r *RootComplex) translate(at sim.Time, dma uint64) (uint64, sim.Time, erro
 	return res.PA, res.Ready, nil
 }
 
-// boundedChunks calls fn(offset, n) for consecutive chunks of
-// [addr, addr+sz) that do not cross bound-aligned address boundaries.
-// This is the same arithmetic as tlp.SplitRead/SplitWrite; the
-// equivalence is asserted by tests. DMARead/DMAWrite inline the same
-// loop rather than take a callback so their steady state stays free of
-// closure allocations; the tests pin the two forms to each other.
-func boundedChunks(addr uint64, sz, bound int, fn func(off, n int)) {
-	pos := addr
-	remaining := sz
-	off := 0
-	for remaining > 0 {
-		n := remaining
-		if boundary := (pos/uint64(bound) + 1) * uint64(bound); pos+uint64(n) > boundary {
-			n = int(boundary - pos)
-		}
-		fn(off, n)
-		pos += uint64(n)
-		remaining -= n
-		off += n
-	}
-}
-
-// cplChunks calls fn(offset, n) for the completion payloads of a read of
-// [addr, addr+sz): a short first chunk up to the RCB boundary when addr
-// is unaligned, then MPS-sized chunks (same arithmetic as
-// tlp.SplitCompletion).
-func cplChunks(addr uint64, sz, mps, rcb int, fn func(off, n int)) {
-	pos := addr
-	remaining := sz
-	off := 0
-	for remaining > 0 {
-		var n int
-		if mis := int(pos % uint64(rcb)); mis != 0 {
-			n = rcb - mis
-		} else {
-			n = mps
-		}
-		if n > remaining {
-			n = remaining
-		}
-		fn(off, n)
-		pos += uint64(n)
-		remaining -= n
-		off += n
-	}
-}
-
-// ReadResult is the timeline of a DMA read.
-type ReadResult struct {
-	// FirstData is when the first completion arrives at the device.
-	FirstData sim.Time
-	// Complete is when the last completion arrives at the device.
-	Complete sim.Time
-}
-
-// DMARead runs a device-initiated read of sz bytes at DMA address dma,
-// with the first request TLP entering the device's link interface at
-// time at. It returns the completion timeline.
+// DMARead runs a device-initiated read on port 0 (see Port.DMARead).
 func (r *RootComplex) DMARead(at sim.Time, dma uint64, sz int) (ReadResult, error) {
-	return r.DMAReadOrdered(at, dma, sz, 0)
+	return r.ports[0].DMAReadOrdered(at, dma, sz, 0)
 }
 
-// DMAReadOrdered is DMARead with an ordering barrier: the memory access
-// will not start before orderAfter. PCIe ordering makes a read push
-// ahead any earlier posted write to the same address; the benchmark
-// layer passes the write's memory-completion time here to implement
-// LAT_WRRD.
+// DMAReadOrdered runs an ordered device-initiated read on port 0 (see
+// Port.DMAReadOrdered).
 func (r *RootComplex) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter sim.Time) (ReadResult, error) {
-	if sz <= 0 {
-		return ReadResult{}, fmt.Errorf("rc: read size %d", sz)
-	}
-	cfg := &r.cfg
-	mrrs := uint64(cfg.Link.MRRS)
-	mps := cfg.Link.MPS
-	rcb := uint64(cfg.Link.RCB)
-
-	res := ReadResult{}
-	r.ReadOps++
-	// MRRS-bounded request chunks (boundedChunks, in loop form).
-	pos := dma
-	remaining := sz
-	for remaining > 0 {
-		n := remaining
-		if boundary := (pos/mrrs + 1) * mrrs; pos+uint64(n) > boundary {
-			n = int(boundary - pos)
-		}
-		// Request serializes on the device->host direction.
-		txDone := r.up.ScheduleAt(at, r.reqTime)
-		r.UpTLPs++
-		r.UpBytes += uint64(r.reqHdr)
-		r.traceMemReq(txDone, false, pos, n)
-		arrive := txDone + cfg.WireDelay
-		// Root-complex processing.
-		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
-		// Address translation.
-		pa, ready, terr := r.translate(procDone, pos)
-		if terr != nil {
-			return ReadResult{}, terr
-		}
-		if ready < orderAfter {
-			ready = orderAfter
-		}
-		// Memory access: worst-line latency (line fetches in parallel).
-		memLat := r.ms.Access(false, r.home(pa), pa, n)
-		dataAt := ready + memLat
-		// Completions serialize on the host->device direction: a short
-		// first chunk up to the RCB boundary, then MPS-sized chunks
-		// (cplChunks, in loop form).
-		cpos := pa
-		crem := n
-		for crem > 0 {
-			c := mps
-			if mis := int(cpos % rcb); mis != 0 {
-				c = int(rcb) - mis
-			}
-			if c > crem {
-				c = crem
-			}
-			wire := r.cplHdr + c
-			done := r.down.ScheduleAt(dataAt, r.bytesTime(wire))
-			r.DownTLPs++
-			r.DownBytes += uint64(wire)
-			r.traceCpl(done, cpos, c, crem)
-			arriveDev := done + cfg.WireDelay
-			if res.FirstData == 0 || arriveDev < res.FirstData {
-				res.FirstData = arriveDev
-			}
-			if arriveDev > res.Complete {
-				res.Complete = arriveDev
-			}
-			cpos += uint64(c)
-			crem -= c
-		}
-		pos += uint64(n)
-		remaining -= n
-	}
-	return res, nil
+	return r.ports[0].DMAReadOrdered(at, dma, sz, orderAfter)
 }
 
-// WriteResult is the timeline of a posted DMA write.
-type WriteResult struct {
-	// LinkDone is when the device finishes injecting the write TLPs —
-	// the point at which the device-side DMA engine considers the
-	// (posted) write complete.
-	LinkDone sim.Time
-	// MemDone is when the data is globally visible in the memory
-	// system; later reads to the same address order after this.
-	MemDone sim.Time
-}
-
-// DMAWrite runs a device-initiated posted write of sz bytes at DMA
-// address dma starting at time at.
+// DMAWrite runs a device-initiated posted write on port 0 (see
+// Port.DMAWrite).
 func (r *RootComplex) DMAWrite(at sim.Time, dma uint64, sz int) (WriteResult, error) {
-	if sz <= 0 {
-		return WriteResult{}, fmt.Errorf("rc: write size %d", sz)
-	}
-	cfg := &r.cfg
-	mps := uint64(cfg.Link.MPS)
-
-	res := WriteResult{}
-	r.WriteOps++
-	// MPS-bounded write chunks (boundedChunks, in loop form).
-	pos := dma
-	remaining := sz
-	for remaining > 0 {
-		n := remaining
-		if boundary := (pos/mps + 1) * mps; pos+uint64(n) > boundary {
-			n = int(boundary - pos)
-		}
-		wire := r.wrHdr + n
-		txDone := r.up.ScheduleAt(at, r.bytesTime(wire))
-		r.UpTLPs++
-		r.UpBytes += uint64(wire)
-		r.traceMemReq(txDone, true, pos, n)
-		if txDone > res.LinkDone {
-			res.LinkDone = txDone
-		}
-		arrive := txDone + cfg.WireDelay
-		procDone := r.pipe.ScheduleAt(arrive, cfg.PipeLatency+r.jitter())
-		pa, ready, terr := r.translate(procDone, pos)
-		if terr != nil {
-			return WriteResult{}, terr
-		}
-		memLat := r.ms.Access(true, r.home(pa), pa, n)
-		if done := ready + memLat; done > res.MemDone {
-			res.MemDone = done
-		}
-		pos += uint64(n)
-		remaining -= n
-	}
-	return res, nil
+	return r.ports[0].DMAWrite(at, dma, sz)
 }
 
-// MMIOWrite models the host CPU posting a write of sz bytes to a device
-// register (doorbell): it serializes on the host->device direction and
-// returns the arrival time at the device. The CPU does not wait.
+// MMIOWrite models the host CPU posting a doorbell write to port 0's
+// device (see Port.MMIOWrite).
 func (r *RootComplex) MMIOWrite(at sim.Time, sz int) sim.Time {
-	wire := r.wrHdr + sz
-	done := r.down.ScheduleAt(at, r.bytesTime(wire))
-	r.DownTLPs++
-	r.DownBytes += uint64(wire)
-	return done + r.cfg.WireDelay
+	return r.ports[0].MMIOWrite(at, sz)
 }
 
-// MMIORead models the host CPU reading a device register: a non-posted
-// read crosses to the device, which answers after devLatency; the
-// completion crosses back. Returns when the CPU has the value. These
-// uncached reads are the expensive driver operations modern drivers
-// avoid (paper §2: DPDK polls host memory instead).
-//
-// The returning completion's serialization is charged as latency but
-// does not reserve the device→host link server: it completes far in the
-// future relative to submission, and the virtual-clock servers are FIFO
-// in call order, so reserving ahead of time would incorrectly stall
-// DMA traffic submitted afterwards. The few bytes involved make its
-// bandwidth contribution negligible (it is still counted in UpBytes).
+// MMIORead models the host CPU reading a register of port 0's device
+// (see Port.MMIORead).
 func (r *RootComplex) MMIORead(at sim.Time, sz int, devLatency sim.Time) sim.Time {
-	reqArrive := r.down.ScheduleAt(at, r.reqTime) + r.cfg.WireDelay
-	r.DownTLPs++
-	r.DownBytes += uint64(r.reqHdr)
-	cplWire := r.cplHdr + sz
-	cplDone := reqArrive + devLatency + r.bytesTime(cplWire)
-	r.UpTLPs++
-	r.UpBytes += uint64(cplWire)
-	return cplDone + r.cfg.WireDelay
+	return r.ports[0].MMIORead(at, sz, devLatency)
 }
 
-// UpUtilization returns the device->host link utilization so far.
-func (r *RootComplex) UpUtilization() float64 { return r.up.Utilization() }
+// UpUtilization returns port 0's device->host link utilization so far.
+func (r *RootComplex) UpUtilization() float64 { return r.ports[0].UpUtilization() }
 
-// DownUtilization returns the host->device link utilization so far.
-func (r *RootComplex) DownUtilization() float64 { return r.down.Utilization() }
+// DownUtilization returns port 0's host->device link utilization so far.
+func (r *RootComplex) DownUtilization() float64 { return r.ports[0].DownUtilization() }

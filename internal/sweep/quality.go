@@ -77,7 +77,7 @@ func (q Quality) Transactions(benchKind, metric string) int {
 		return q.LoopN()
 	case BenchWorkload:
 		return q.WorkloadN()
-	case BenchLatRd, BenchLatWrRd:
+	case BenchLatRd, BenchLatWrRd, BenchP2P:
 		return q.LatN()
 	default:
 		return q.BwN()

@@ -3,12 +3,14 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"pciebench/internal/bench"
 	"pciebench/internal/nicsim"
 	"pciebench/internal/runner"
 	"pciebench/internal/stats"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
 	"pciebench/internal/workload"
 )
 
@@ -26,6 +28,9 @@ type Measurement struct {
 	// per-queue packet-pair rates.
 	PPS      float64
 	QueuePPS []float64
+	// EndpointPPS holds the per-endpoint packet-pair rates of a
+	// multi-endpoint workload cell (one entry on the degenerate form).
+	EndpointPPS []float64
 }
 
 // Value extracts a metric from the measurement.
@@ -44,13 +49,39 @@ func (m Measurement) Value(metric string) float64 {
 	case MetricP999:
 		return m.Summary.P999
 	}
+	switch metric {
+	case MetricEPPSMin:
+		return minFloat(m.EndpointPPS)
+	case MetricEPPSMax:
+		return maxFloat(m.EndpointPPS)
+	}
 	if i, ok := queuePPSIndex(metric); ok {
 		if i < len(m.QueuePPS) {
 			return m.QueuePPS[i]
 		}
 		return 0
 	}
+	if i, ok := endpointPPSIndex(metric); ok {
+		if i < len(m.EndpointPPS) {
+			return m.EndpointPPS[i]
+		}
+		return 0
+	}
 	return m.Median
+}
+
+func minFloat(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return slices.Min(vals)
+}
+
+func maxFloat(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	return slices.Max(vals)
 }
 
 // CellResult is the outcome of one grid cell.
@@ -215,6 +246,9 @@ func buildInstance(cfg Config) (*sysconf.Instance, error) {
 // (probe order is then the simulation order); otherwise the probe
 // builds its own fresh instance, like the paper's per-point runs.
 func measure(cfg Config, shared *sysconf.Instance, wantCDF bool) (Measurement, error) {
+	if shared == nil && cfg.usesFabric() {
+		return measureFabric(cfg)
+	}
 	inst := shared
 	if inst == nil {
 		var err error
@@ -281,12 +315,58 @@ func measureWorkload(inst *sysconf.Instance, cfg Config) (Measurement, error) {
 		return Measurement{}, err
 	}
 	m := Measurement{
+		Median:      res.Latency.Median,
+		Gbps:        res.GbpsPerDirection,
+		PPS:         res.PPS,
+		Summary:     res.Latency,
+		EndpointPPS: []float64{res.PPS},
+	}
+	for _, q := range res.Queues {
+		m.QueuePPS = append(m.QueuePPS, q.PPS)
+	}
+	return m, nil
+}
+
+// measureFabric runs the cell on a multi-endpoint fabric: the p2p
+// transfer benchmark, or the traffic engine on every endpoint at once.
+func measureFabric(cfg Config) (Measurement, error) {
+	sys, err := sysconf.ByName(cfg.System)
+	if err != nil {
+		return Measurement{}, err
+	}
+	fab, err := sys.Fabric(cfg.Shape, cfg.Opt)
+	if err != nil {
+		return Measurement{}, err
+	}
+	if cfg.Bench == BenchP2P {
+		res, err := topo.RunP2P(fab, cfg.P2P, cfg.Params.TransferSize, cfg.Params.Transactions)
+		if err != nil {
+			return Measurement{}, err
+		}
+		return Measurement{
+			Median:  res.Latency.Median,
+			Gbps:    res.Gbps,
+			Summary: res.Latency,
+		}, nil
+	}
+	wl := cfg.Workload
+	wl.Seed = cfg.Opt.Seed
+	res, err := topo.RunWorkload(fab, wl, cfg.Params.Transactions)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m := Measurement{
 		Median:  res.Latency.Median,
 		Gbps:    res.GbpsPerDirection,
 		PPS:     res.PPS,
 		Summary: res.Latency,
 	}
-	for _, q := range res.Queues {
+	for _, ep := range res.Endpoints {
+		m.EndpointPPS = append(m.EndpointPPS, ep.PPS)
+	}
+	// Per-queue rates of endpoint 0 keep the qpps<i> metrics
+	// meaningful on one-endpoint fabrics.
+	for _, q := range res.Endpoints[0].Queues {
 		m.QueuePPS = append(m.QueuePPS, q.PPS)
 	}
 	return m, nil

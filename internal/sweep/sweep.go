@@ -29,6 +29,7 @@ import (
 	"pciebench/internal/bench"
 	"pciebench/internal/pcie"
 	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
 	"pciebench/internal/workload"
 )
 
@@ -43,10 +44,15 @@ const (
 	BenchBwRdWr   = "bw_rdwr"
 	BenchLoopback = "loopback"
 	BenchWorkload = "workload"
+	// BenchP2P measures device-to-device transfers between two
+	// endpoints of a topology: the direct peer path vs the bounce
+	// through host DRAM (internal/topo.RunP2P).
+	BenchP2P = "p2p"
 )
 
 // Probe metrics. Workload cells additionally accept "qpps<i>", the
-// packet rate of queue i.
+// packet rate of queue i, and multi-endpoint cells "epps<i>", the
+// packet rate of endpoint i.
 const (
 	MetricMedian = "median" // median latency in ns
 	MetricGbps   = "gbps"   // per-direction payload bandwidth
@@ -56,12 +62,27 @@ const (
 	MetricP50    = "p50"    // completion-latency p50 in ns (workload)
 	MetricP99    = "p99"    // completion-latency p99 in ns (workload)
 	MetricP999   = "p999"   // completion-latency p99.9 in ns (workload)
+	// MetricEPPSMin/Max are the slowest and fastest endpoint packet
+	// rates of a multi-endpoint workload cell — their ratio is the
+	// bandwidth-partitioning fairness of a shared uplink.
+	MetricEPPSMin = "eppsmin"
+	MetricEPPSMax = "eppsmax"
 )
 
 // queuePPSIndex parses the dynamic "qpps<i>" metric naming queue i's
 // packet rate.
 func queuePPSIndex(metric string) (int, bool) {
-	rest, ok := strings.CutPrefix(metric, "qpps")
+	return indexedMetric(metric, "qpps")
+}
+
+// endpointPPSIndex parses the dynamic "epps<i>" metric naming endpoint
+// i's packet rate.
+func endpointPPSIndex(metric string) (int, bool) {
+	return indexedMetric(metric, "epps")
+}
+
+func indexedMetric(metric, prefix string) (int, bool) {
+	rest, ok := strings.CutPrefix(metric, prefix)
 	if !ok || rest == "" {
 		return 0, false
 	}
@@ -76,10 +97,14 @@ func queuePPSIndex(metric string) (int, bool) {
 func validMetric(m string) bool {
 	switch m {
 	case "", MetricMedian, MetricGbps, MetricFrac, MetricCDF,
-		MetricPPS, MetricP50, MetricP99, MetricP999:
+		MetricPPS, MetricP50, MetricP99, MetricP999,
+		MetricEPPSMin, MetricEPPSMax:
 		return true
 	}
-	_, ok := queuePPSIndex(m)
+	if _, ok := queuePPSIndex(m); ok {
+		return true
+	}
+	_, ok := endpointPPSIndex(m)
 	return ok
 }
 
@@ -219,6 +244,19 @@ type Config struct {
 	// Workload configures the traffic engine when Bench is
 	// BenchWorkload; other benchmarks ignore it.
 	Workload workload.Config
+	// Shape selects the PCIe topology (endpoint count, shared switch
+	// uplink, socket placement); the zero value is the paper's
+	// single-adapter form.
+	Shape topo.Shape
+	// P2P selects the transfer path of a BenchP2P cell ("direct" or
+	// "bounce").
+	P2P string
+}
+
+// usesFabric reports whether the cell needs a multi-endpoint fabric
+// rather than the degenerate single-endpoint instance.
+func (c *Config) usesFabric() bool {
+	return c.Bench == BenchP2P || !c.Shape.Degenerate()
 }
 
 // ParseSize parses an integer with an optional K/M/G binary suffix
@@ -251,15 +289,52 @@ func parseBool(s string) (bool, error) {
 	return false, fmt.Errorf("sweep: bad boolean %q", s)
 }
 
-// knownKeys lists every parameter a cell assignment may set, for
-// override validation and error messages.
-var knownKeys = []string{
-	"arrival", "bench", "buffer", "cache", "descbatch", "direct",
-	"doorbell", "flows", "gen", "inflight", "intrmod", "iommu",
-	"lanes", "mps", "mrrs", "n", "nic", "node", "nojitter", "offset",
-	"pattern", "queues", "seed", "sizes", "sp", "system", "transfer",
-	"warmup", "wbbatch", "window",
+// The known parameter keys, grouped by the layer they configure. The
+// groups drive the unknown-key error messages: a cell whose benchmark
+// kind is known lists only the keys that kind accepts.
+var (
+	// systemKeys configure the simulator instance (sysconf.Options and
+	// the link) and apply to every benchmark kind.
+	systemKeys = []string{
+		"bench", "buffer", "gen", "iommu", "lanes", "mps", "mrrs", "n",
+		"node", "nojitter", "seed", "sp", "system", "warmup",
+	}
+	// microKeys are the pcie-bench micro-benchmark parameters
+	// (bench.Params) of the latency/bandwidth/loopback kinds.
+	microKeys = []string{
+		"cache", "direct", "offset", "pattern", "transfer", "window",
+	}
+	// workloadKeys configure the multi-queue traffic engine.
+	workloadKeys = []string{
+		"arrival", "descbatch", "doorbell", "flows", "inflight",
+		"intrmod", "nic", "queues", "sizes", "transfer", "wbbatch",
+	}
+	// topoKeys select the PCIe topology; valid for the workload and
+	// p2p kinds.
+	topoKeys = []string{"endpoints", "socket", "switch"}
+	// p2pKeys apply only to the p2p kind.
+	p2pKeys = []string{"p2p", "transfer"}
+)
+
+// mergeKeys dedups and sorts the union of key groups.
+func mergeKeys(groups ...[]string) []string {
+	seen := map[string]bool{}
+	var all []string
+	for _, group := range groups {
+		for _, k := range group {
+			if !seen[k] {
+				seen[k] = true
+				all = append(all, k)
+			}
+		}
+	}
+	sort.Strings(all)
+	return all
 }
+
+// knownKeys lists every parameter a cell assignment may set, for
+// override validation.
+var knownKeys = mergeKeys(systemKeys, microKeys, workloadKeys, topoKeys, p2pKeys)
 
 func isKnownKey(k string) bool {
 	for _, known := range knownKeys {
@@ -270,6 +345,34 @@ func isKnownKey(k string) bool {
 	return false
 }
 
+// keysFor lists the keys valid for one benchmark kind, sorted.
+func keysFor(benchKind string) []string {
+	switch benchKind {
+	case BenchWorkload:
+		return mergeKeys(systemKeys, workloadKeys, topoKeys)
+	case BenchP2P:
+		return mergeKeys(systemKeys, topoKeys, p2pKeys)
+	case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback:
+		return mergeKeys(systemKeys, microKeys)
+	default:
+		return knownKeys
+	}
+}
+
+// unknownKeyErr builds the unknown-parameter error: when the cell's
+// benchmark kind is known, it lists exactly the keys that kind
+// accepts; otherwise it lists every group.
+func unknownKeyErr(benchKind string) error {
+	if benchKind != "" {
+		return fmt.Errorf("unknown parameter for bench %q (valid: %s)",
+			benchKind, strings.Join(keysFor(benchKind), " "))
+	}
+	return fmt.Errorf("unknown parameter (system/link: %s | micro-bench: %s | workload: %s | topology: %s | p2p: %s)",
+		strings.Join(systemKeys, " "), strings.Join(microKeys, " "),
+		strings.Join(workloadKeys, " "), strings.Join(topoKeys, " "),
+		strings.Join(p2pKeys, " "))
+}
+
 // optLevelKeys are the parameters that change how a simulator instance
 // is built (sysconf.Options and the link), as opposed to the
 // bench.Params of a run. Probe sets under SharedInstance may not touch
@@ -278,6 +381,7 @@ var optLevelKeys = map[string]bool{
 	"system": true, "seed": true, "buffer": true, "node": true,
 	"iommu": true, "sp": true, "nojitter": true,
 	"gen": true, "lanes": true, "mps": true, "mrrs": true,
+	"endpoints": true, "switch": true, "socket": true, "p2p": true,
 }
 
 // resolveConfig turns a merged key/value assignment into an executable
@@ -308,7 +412,7 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			cfg.System = v
 		case "bench":
 			switch strings.ToLower(v) {
-			case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback, BenchWorkload:
+			case BenchLatRd, BenchLatWrRd, BenchBwRd, BenchBwWr, BenchBwRdWr, BenchLoopback, BenchWorkload, BenchP2P:
 				cfg.Bench = strings.ToLower(v)
 			default:
 				err = fmt.Errorf("unknown benchmark %q", v)
@@ -404,8 +508,28 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			} else {
 				cfg.Workload.Moderation.IntrEvery, err = ParseSize(v)
 			}
+		case "endpoints":
+			var n int
+			if n, err = ParseSize(v); err == nil {
+				if n < 1 {
+					err = fmt.Errorf("endpoint count %d", n)
+				} else {
+					cfg.Shape.Endpoints = n
+				}
+			}
+		case "switch":
+			cfg.Shape.Switch, err = topo.ParseSwitch(v)
+		case "socket":
+			cfg.Shape.Placement = strings.ToLower(strings.TrimSpace(v))
+		case "p2p":
+			switch strings.ToLower(v) {
+			case topo.P2PDirect, topo.P2PBounce:
+				cfg.P2P = strings.ToLower(v)
+			default:
+				err = fmt.Errorf("p2p mode %q (want %s or %s)", v, topo.P2PDirect, topo.P2PBounce)
+			}
 		default:
-			err = fmt.Errorf("unknown parameter (known: %s)", strings.Join(knownKeys, " "))
+			err = unknownKeyErr(strings.ToLower(kv["bench"]))
 		}
 		if err != nil {
 			return Config{}, fmt.Errorf("sweep: %s=%q: %w", k, v, err)
@@ -417,7 +541,39 @@ func resolveConfig(kv map[string]string) (Config, error) {
 		}
 		cfg.Opt.Link = link
 	}
-	if _, err := sysconf.ByName(cfg.System); err != nil {
+	sys, err := sysconf.ByName(cfg.System)
+	if err != nil {
+		return Config{}, err
+	}
+	// Topology defaults and cross-key rules. BenchP2P needs two
+	// endpoints and defaults to a shared switch and the direct path;
+	// topology keys on the single-flow micro-benchmarks would silently
+	// measure endpoint 0 only, so they are rejected there.
+	if cfg.Bench == BenchP2P {
+		if cfg.Shape.Endpoints == 0 {
+			cfg.Shape.Endpoints = 2
+		}
+		if cfg.Shape.Endpoints < 2 {
+			return Config{}, fmt.Errorf("sweep: bench p2p needs endpoints >= 2, got %d", cfg.Shape.Endpoints)
+		}
+		// Default to a shared switch, except under split placement
+		// (which requires direct attachment to both sockets).
+		if _, hasSwitch := kv["switch"]; !hasSwitch && cfg.Shape.Placement != "split" {
+			l := pcie.DefaultGen3x8()
+			cfg.Shape.Switch = &l
+		}
+		if cfg.P2P == "" {
+			cfg.P2P = topo.P2PDirect
+		}
+	} else {
+		if cfg.P2P != "" {
+			return Config{}, fmt.Errorf("sweep: p2p=%q only applies to bench=p2p (valid p2p keys: %s)", cfg.P2P, strings.Join(keysFor(BenchP2P), " "))
+		}
+		if !cfg.Shape.Degenerate() && cfg.Bench != BenchWorkload {
+			return Config{}, fmt.Errorf("sweep: topology keys (endpoints/switch/socket) apply to bench=workload or bench=p2p, not %q", cfg.Bench)
+		}
+	}
+	if err := cfg.Shape.Validate(sys.Nodes); err != nil {
 		return Config{}, err
 	}
 	if cfg.Bench == BenchWorkload {
@@ -618,8 +774,12 @@ func (s *Spec) Validate() error {
 	for _, c := range s.Cells() {
 		for pi, p := range s.probes() {
 			kv := s.mergedKV(c.KV, p.Set)
-			if _, err := resolveConfig(kv); err != nil {
+			cfg, err := resolveConfig(kv)
+			if err != nil {
 				return fmt.Errorf("sweep: spec %q cell %d probe %d: %w", s.Name, c.Index, pi, err)
+			}
+			if s.SharedInstance && cfg.usesFabric() {
+				return fmt.Errorf("sweep: spec %q cell %d: shared_instance cells cannot use multi-endpoint topologies", s.Name, c.Index)
 			}
 			if s.Contrast != nil {
 				if _, err := resolveConfig(s.mergedKV(kv, s.Contrast.Set)); err != nil {

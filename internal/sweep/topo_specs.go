@@ -1,0 +1,54 @@
+package sweep
+
+// The topology sweeps: the scenarios the paper's single-adapter setup
+// cannot express, run on the composable internal/topo fabric. They are
+// registered here (rather than in internal/report) because they extend
+// the methodology beyond the paper's figures.
+func init() {
+	Register(&Spec{
+		Name:  "topo-contend",
+		Title: "Shared-uplink contention",
+		Description: "N NICs behind one PCIe switch share a Gen3 x8 uplink: " +
+			"aggregate rate saturates while per-NIC p99 latency inflates and " +
+			"bandwidth partitions near-equally as N grows 1..8",
+		XAxis:  "endpoints",
+		XLabel: "NICs behind the switch",
+		YLabel: "pps / latency (ns)",
+		Axes:   []Axis{IntAxis("endpoints", 1, 2, 4, 8)},
+		Base: map[string]string{
+			"bench":  BenchWorkload,
+			"system": "NFP6000-HSW",
+			"switch": "gen3x8",
+			"queues": "1",
+			"sizes":  "1500",
+		},
+		Probes: []Probe{
+			{Label: "pps", Metric: MetricPPS},
+			{Label: "p99_ns", Metric: MetricP99},
+			{Label: "epps_min", Metric: MetricEPPSMin},
+			{Label: "epps_max", Metric: MetricEPPSMax},
+		},
+	})
+	Register(&Spec{
+		Name:  "topo-p2p",
+		Title: "Peer-to-peer DMA vs host-DRAM bounce",
+		Description: "device-to-device transfers between two endpoints under one " +
+			"switch: the direct switch-routed peer path against the bounce " +
+			"through host DRAM (write up, read back down)",
+		XAxis:  "transfer",
+		XLabel: "transfer size (B)",
+		YLabel: "latency (ns) / Gb/s",
+		Axes: []Axis{
+			StrAxis("transfer", "64", "256", "1K", "4K"),
+			StrAxis("p2p", "direct", "bounce"),
+		},
+		Base: map[string]string{
+			"bench":  BenchP2P,
+			"system": "NFP6000-HSW",
+		},
+		Probes: []Probe{
+			{Label: "lat_ns", Metric: MetricMedian},
+			{Label: "gbps", Metric: MetricGbps},
+		},
+	})
+}

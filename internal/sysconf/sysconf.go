@@ -21,6 +21,7 @@ import (
 	"pciebench/internal/pcie"
 	"pciebench/internal/rc"
 	"pciebench/internal/sim"
+	"pciebench/internal/topo"
 )
 
 // Adapter identifies the plugged-in benchmark device.
@@ -197,7 +198,9 @@ type Options struct {
 	Link *pcie.LinkConfig
 }
 
-// Instance is an assembled system ready to run benchmarks.
+// Instance is an assembled system ready to run benchmarks. It is the
+// single-endpoint view of a Fabric: Engine and Buffer belong to the
+// first endpoint.
 type Instance struct {
 	System System
 	Kernel *sim.Kernel
@@ -207,6 +210,8 @@ type Instance struct {
 	RC     *rc.RootComplex
 	Engine *device.Engine
 	Buffer *hostif.Buffer
+	// Fabric is the full topology the instance was assembled from.
+	Fabric *topo.Fabric
 }
 
 // Target returns the bench.Target view of the instance.
@@ -214,15 +219,9 @@ func (i *Instance) Target() *bench.Target {
 	return &bench.Target{Host: i.Host, Engine: i.Engine, Buffer: i.Buffer}
 }
 
-// Build assembles a runnable instance of the system.
-func (s System) Build(opt Options) (*Instance, error) {
-	seed := opt.Seed
-	if seed == 0 {
-		seed = 1
-	}
-	k := sim.New(seed)
-
-	ms, err := mem.NewSystem(mem.Config{
+// memConfig is the system's memory calibration.
+func (s System) memConfig() mem.Config {
+	return mem.Config{
 		Nodes: s.Nodes,
 		Cache: mem.CacheConfig{
 			SizeBytes: s.LLCBytes,
@@ -233,79 +232,155 @@ func (s System) Build(opt Options) (*Instance, error) {
 		LLCLatency:    s.LLCLatency,
 		DRAMLatency:   s.DRAMLatency,
 		RemoteLatency: s.RemoteLat,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
 	}
+}
 
-	var mmu *iommu.IOMMU
+// deviceConfig returns the engine parameterization and buffer
+// allocation strategy of the system's adapter.
+func (s System) deviceConfig() (device.Config, hostif.AllocMode) {
+	if s.Adapter == NetFPGASUME {
+		return netfpga.Config(), hostif.Huge1G
+	}
+	return nfp.Config(), hostif.Chunked4M
+}
+
+// DeviceBAR is the default device-memory window endpoints expose for
+// peer-to-peer DMA in multi-endpoint topologies: a 16MB window with
+// NFP-CTM-class access latencies and an ~80 Gb/s internal path.
+func DeviceBAR() topo.BARSpec {
+	return topo.BARSpec{
+		Size:         16 << 20,
+		ReadLatency:  350 * sim.Nanosecond,
+		WriteLatency: 100 * sim.Nanosecond,
+		PSPerByte:    100,
+	}
+}
+
+// QPIPSPerByte approximates a ~16 GB/s inter-socket interconnect for
+// the explicit bandwidth-contention model of split-socket topologies
+// (the latency penalty stays in mem.Config.RemoteLatency, calibrated
+// from §6.4).
+const QPIPSPerByte = 62
+
+// TopoSpec expands a topology shape against this system's calibration
+// into a full topo.Spec: the degenerate shape reproduces the paper's
+// single-adapter assembly exactly, larger shapes add switches, extra
+// endpoints, BAR windows and multi-socket placement.
+func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
+	if err := shape.Validate(s.Nodes); err != nil {
+		return topo.Spec{}, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	}
+	spec := topo.Spec{
+		Seed: opt.Seed,
+		Mem:  s.memConfig(),
+	}
 	if opt.IOMMU {
 		cfg := iommu.DefaultConfig()
 		if opt.IOMMUConfig != nil {
 			cfg = *opt.IOMMUConfig
 		}
-		mmu = iommu.New(k, cfg)
+		spec.IOMMU = &cfg
 	}
-	host := hostif.New(ms, mmu)
 
 	jitter := s.Jitter
 	if opt.NoJitter {
 		jitter = nil
 	}
+	sockets := 1
+	if !shape.Degenerate() {
+		// Non-degenerate topologies materialize every socket, so
+		// placement and split layouts can route across them.
+		sockets = s.Nodes
+	}
+	for i := 0; i < sockets; i++ {
+		spec.Sockets = append(spec.Sockets, topo.SocketSpec{
+			Node: i, PipeLatency: s.PipeLatency, PipeSlots: s.PipeSlots, Jitter: jitter,
+		})
+	}
+	if sockets > 1 {
+		spec.Interconnect = &rc.InterconnectConfig{PSPerByte: QPIPSPerByte, Shared: true}
+	}
+
 	link := pcie.DefaultGen3x8()
 	if opt.Link != nil {
 		link = *opt.Link
 	}
-	complex, err := rc.New(k, rc.Config{
-		Link:        link,
-		PipeLatency: s.PipeLatency,
-		PipeSlots:   s.PipeSlots,
-		WireDelay:   s.WireDelay,
-		Jitter:      jitter,
-	}, ms, mmu, host)
-	if err != nil {
-		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+	swIndex := topo.DirectAttach
+	if shape.Switch != nil {
+		spec.Switches = append(spec.Switches, topo.DefaultSwitch(*shape.Switch, shape.SocketOf(0, sockets)))
+		swIndex = 0
 	}
 
-	var eng *device.Engine
-	switch s.Adapter {
-	case NetFPGASUME:
-		eng, err = netfpga.New(k, complex)
-	default:
-		eng, err = nfp.New(k, complex)
+	devCfg, mode := s.deviceConfig()
+	if opt.AllocMode != nil {
+		mode = *opt.AllocMode
 	}
-	if err != nil {
-		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
-	}
-
 	size := opt.BufferSize
 	if size == 0 {
 		size = DefaultBufferSize
-	}
-	mode := hostif.Chunked4M
-	if s.Adapter == NetFPGASUME {
-		mode = hostif.Huge1G
-	}
-	if opt.AllocMode != nil {
-		mode = *opt.AllocMode
 	}
 	mapPage := iommu.Page4K
 	if opt.SuperPages {
 		mapPage = 0 // natural page size
 	}
-	buf, err := host.Alloc(size, opt.BufferNode, mode, mapPage)
+	count := shape.Count()
+	for i := 0; i < count; i++ {
+		adapter := "nfp"
+		if s.Adapter == NetFPGASUME {
+			adapter = "netfpga"
+		}
+		ep := topo.EndpointSpec{
+			Name:        fmt.Sprintf("%s-ep%d", adapter, i),
+			Device:      devCfg,
+			Link:        link,
+			WireDelay:   s.WireDelay,
+			Switch:      swIndex,
+			Socket:      shape.SocketOf(i, sockets),
+			BufferBytes: size,
+			BufferNode:  opt.BufferNode,
+			AllocMode:   mode,
+			MapPage:     mapPage,
+		}
+		if count >= 2 {
+			bar := DeviceBAR()
+			ep.BAR = &bar
+		}
+		spec.Endpoints = append(spec.Endpoints, ep)
+	}
+	return spec, nil
+}
+
+// Fabric assembles the system as a topology of the given shape.
+func (s System) Fabric(shape topo.Shape, opt Options) (*topo.Fabric, error) {
+	spec, err := s.TopoSpec(shape, opt)
+	if err != nil {
+		return nil, err
+	}
+	f, err := topo.Build(spec)
 	if err != nil {
 		return nil, fmt.Errorf("sysconf: %s: %w", s.Name, err)
 	}
+	return f, nil
+}
 
+// Build assembles a runnable instance of the system — the degenerate
+// one-endpoint topology, byte-identical to the original single-device
+// assembly.
+func (s System) Build(opt Options) (*Instance, error) {
+	f, err := s.Fabric(topo.Shape{}, opt)
+	if err != nil {
+		return nil, err
+	}
+	ep := f.Endpoints[0]
 	return &Instance{
 		System: s,
-		Kernel: k,
-		Mem:    ms,
-		IOMMU:  mmu,
-		Host:   host,
-		RC:     complex,
-		Engine: eng,
-		Buffer: buf,
+		Kernel: f.Kernel,
+		Mem:    f.Mem,
+		IOMMU:  f.IOMMU,
+		Host:   f.Host,
+		RC:     f.RC,
+		Engine: ep.Engine,
+		Buffer: ep.Buffer,
+		Fabric: f,
 	}, nil
 }

@@ -1,0 +1,285 @@
+// Package topo describes and assembles composable PCIe topologies: the
+// sockets, switches and endpoints of a host, wired into a runnable
+// fabric of simulator components.
+//
+// The paper measures one adapter on one link into one root-complex
+// port. Its NUMA results (§6.4) and its host-interface bottleneck
+// analysis only generalize if the simulator can express *topologies*:
+// several endpoints contending for a shared upstream link, multi-socket
+// hosts routing DMA across the inter-socket interconnect, and
+// SmartNIC-style peer-to-peer transfers between devices. A Spec is the
+// declarative description of such a machine; Build turns it into a
+// Fabric — one simulation kernel, one memory system, a multi-port
+// internal/rc router, and one DMA engine plus host buffer per
+// endpoint.
+//
+// The degenerate one-socket, one-endpoint, no-switch Spec reproduces
+// the paper's Table-1 systems exactly: internal/sysconf builds those
+// systems through this package, and the byte-identity tests pin the
+// equivalence.
+package topo
+
+import (
+	"fmt"
+
+	"pciebench/internal/device"
+	"pciebench/internal/hostif"
+	"pciebench/internal/iommu"
+	"pciebench/internal/mem"
+	"pciebench/internal/pcie"
+	"pciebench/internal/rc"
+	"pciebench/internal/sim"
+)
+
+// DirectAttach marks an endpoint as plugged straight into its socket's
+// root port rather than below a switch.
+const DirectAttach = -1
+
+// SocketSpec calibrates one CPU socket: its root-complex pipeline and
+// the NUMA node its memory controller owns.
+type SocketSpec struct {
+	Node        int
+	PipeLatency sim.Time
+	PipeSlots   int
+	Jitter      rc.Jitter
+}
+
+// SwitchSpec describes a PCIe switch: the socket its shared uplink
+// plugs into and the uplink's timing and flow-control parameters.
+type SwitchSpec struct {
+	Socket         int
+	Uplink         pcie.LinkConfig
+	WireDelay      sim.Time
+	ForwardLatency sim.Time
+	DrainLatency   sim.Time
+	UpCredits      rc.CreditLimits
+	DownCredits    rc.CreditLimits
+}
+
+// BARSpec sizes an endpoint's device-memory window for peer-to-peer
+// DMA and calibrates its internal access costs.
+type BARSpec struct {
+	// Size is the window size in bytes; Build assigns the bus address.
+	Size int
+	// ReadLatency/WriteLatency/PSPerByte are the device-internal access
+	// costs (see rc.BARConfig).
+	ReadLatency  sim.Time
+	WriteLatency sim.Time
+	PSPerByte    int64
+}
+
+// EndpointSpec describes one device: its engine parameterization, its
+// link, where it attaches, and its host DMA buffer.
+type EndpointSpec struct {
+	// Name labels the endpoint in results.
+	Name string
+	// Device parameterizes the DMA engine (e.g. nfp.Config()).
+	Device device.Config
+	// Link and WireDelay shape the endpoint's own link (to the root
+	// port, or to its switch's downstream port).
+	Link      pcie.LinkConfig
+	WireDelay sim.Time
+	// Switch is the index of the switch the endpoint sits below, or
+	// DirectAttach (-1).
+	Switch int
+	// Socket is the socket of a directly attached endpoint (ignored
+	// below a switch: the switch's socket wins).
+	Socket int
+	// BufferBytes sizes the endpoint's host DMA buffer; BufferNode
+	// selects its NUMA node; AllocMode its allocation strategy; MapPage
+	// its IOMMU page granularity (0 = the allocation's natural size).
+	BufferBytes int
+	BufferNode  int
+	AllocMode   hostif.AllocMode
+	MapPage     int
+	// BAR optionally exposes a device-memory window for peer-to-peer
+	// DMA from other endpoints.
+	BAR *BARSpec
+}
+
+// Spec is a complete topology description.
+type Spec struct {
+	// Seed drives all simulation randomness (0 uses 1).
+	Seed int64
+	// Mem calibrates the (shared) memory system; its Nodes count must
+	// cover every socket's Node.
+	Mem mem.Config
+	// IOMMU, when non-nil, interposes an IOMMU in every DMA path.
+	IOMMU *iommu.Config
+	// Interconnect, when non-nil, models explicit inter-socket
+	// bandwidth contention on top of the memory system's RemoteLatency.
+	Interconnect *rc.InterconnectConfig
+	Sockets      []SocketSpec
+	Switches     []SwitchSpec
+	Endpoints    []EndpointSpec
+}
+
+// Validate reports structural errors: missing pieces and out-of-range
+// references.
+func (s Spec) Validate() error {
+	if len(s.Sockets) == 0 {
+		return fmt.Errorf("topo: spec needs at least one socket")
+	}
+	if len(s.Endpoints) == 0 {
+		return fmt.Errorf("topo: spec needs at least one endpoint")
+	}
+	for i, sock := range s.Sockets {
+		if sock.Node < 0 || sock.Node >= s.Mem.Nodes {
+			return fmt.Errorf("topo: socket %d's node %d outside the %d-node memory system", i, sock.Node, s.Mem.Nodes)
+		}
+	}
+	for i, sw := range s.Switches {
+		if sw.Socket < 0 || sw.Socket >= len(s.Sockets) {
+			return fmt.Errorf("topo: switch %d references socket %d of %d", i, sw.Socket, len(s.Sockets))
+		}
+	}
+	for i, ep := range s.Endpoints {
+		if ep.Switch != DirectAttach && (ep.Switch < 0 || ep.Switch >= len(s.Switches)) {
+			return fmt.Errorf("topo: endpoint %d references switch %d of %d", i, ep.Switch, len(s.Switches))
+		}
+		if ep.Switch == DirectAttach && (ep.Socket < 0 || ep.Socket >= len(s.Sockets)) {
+			return fmt.Errorf("topo: endpoint %d references socket %d of %d", i, ep.Socket, len(s.Sockets))
+		}
+		if ep.BufferNode < 0 || ep.BufferNode >= s.Mem.Nodes {
+			return fmt.Errorf("topo: endpoint %d's buffer node %d outside the %d-node memory system", i, ep.BufferNode, s.Mem.Nodes)
+		}
+	}
+	return nil
+}
+
+// Endpoint is one assembled device: its fabric port, DMA engine and
+// host buffer.
+type Endpoint struct {
+	Name   string
+	Port   *rc.Port
+	Engine *device.Engine
+	Buffer *hostif.Buffer
+}
+
+// Fabric is an assembled topology, ready to run benchmarks and
+// workloads on every endpoint concurrently (they share the kernel, so
+// their traffic contends for the shared resources).
+type Fabric struct {
+	Spec      Spec
+	Kernel    *sim.Kernel
+	Mem       *mem.System
+	IOMMU     *iommu.IOMMU // nil when disabled
+	Host      *hostif.Host
+	RC        *rc.RootComplex
+	Switches  []*rc.Switch
+	Endpoints []*Endpoint
+}
+
+// barBase is where Build places auto-assigned BAR windows: far above
+// both the hostif physical-address layout and its IOVA range, so
+// device windows can never shadow host buffers.
+const barBase = uint64(1) << 45
+
+// barStride spaces consecutive BAR windows (8 GB, comfortably above
+// any plausible device memory size).
+const barStride = uint64(8) << 30
+
+// Build assembles the fabric. Construction mirrors the original
+// single-device assembly exactly for degenerate specs (one socket, one
+// directly attached endpoint): same component order, no randomness
+// consumed, so results are byte-identical to the pre-topology code.
+func Build(spec Spec) (*Fabric, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	k := sim.New(seed)
+
+	ms, err := mem.NewSystem(spec.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("topo: %w", err)
+	}
+	var mmu *iommu.IOMMU
+	if spec.IOMMU != nil {
+		mmu = iommu.New(k, *spec.IOMMU)
+	}
+	host := hostif.New(ms, mmu)
+
+	router := rc.NewRouter(k, ms, mmu, host)
+	if spec.Interconnect != nil {
+		router.SetInterconnect(*spec.Interconnect)
+	}
+	sockets := make([]*rc.Socket, len(spec.Sockets))
+	for i, sc := range spec.Sockets {
+		sockets[i], err = router.AddSocket(rc.SocketConfig{
+			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots, Jitter: sc.Jitter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
+		}
+	}
+	switches := make([]*rc.Switch, len(spec.Switches))
+	for i, sw := range spec.Switches {
+		switches[i], err = router.AddSwitch(rc.SwitchConfig{
+			Uplink: sw.Uplink, WireDelay: sw.WireDelay,
+			ForwardLatency: sw.ForwardLatency, DrainLatency: sw.DrainLatency,
+			UpCredits: sw.UpCredits, DownCredits: sw.DownCredits,
+		}, sockets[sw.Socket])
+		if err != nil {
+			return nil, fmt.Errorf("topo: switch %d: %w", i, err)
+		}
+	}
+
+	f := &Fabric{
+		Spec: spec, Kernel: k, Mem: ms, IOMMU: mmu, Host: host,
+		RC: router, Switches: switches,
+	}
+	for i, es := range spec.Endpoints {
+		var sw *rc.Switch
+		var sock *rc.Socket
+		if es.Switch == DirectAttach {
+			sock = sockets[es.Socket]
+		} else {
+			sw = switches[es.Switch]
+		}
+		port, err := router.AddPort(rc.PortConfig{Link: es.Link, WireDelay: es.WireDelay}, sock, sw)
+		if err != nil {
+			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
+		}
+		if es.BAR != nil {
+			if err := port.SetBAR(rc.BARConfig{
+				Base: barBase + uint64(i)*barStride, Size: es.BAR.Size,
+				ReadLatency: es.BAR.ReadLatency, WriteLatency: es.BAR.WriteLatency,
+				PSPerByte: es.BAR.PSPerByte,
+			}); err != nil {
+				return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
+			}
+		}
+		eng, err := device.New(k, port, es.Device)
+		if err != nil {
+			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
+		}
+		buf, err := host.Alloc(es.BufferBytes, es.BufferNode, es.AllocMode, es.MapPage)
+		if err != nil {
+			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
+		}
+		name := es.Name
+		if name == "" {
+			name = fmt.Sprintf("ep%d", i)
+		}
+		f.Endpoints = append(f.Endpoints, &Endpoint{Name: name, Port: port, Engine: eng, Buffer: buf})
+	}
+	return f, nil
+}
+
+// BARAddr returns the bus address of byte off inside endpoint ep's BAR
+// window — the address a peer device DMAs to for a device-to-device
+// transfer.
+func (f *Fabric) BARAddr(ep, off int) (uint64, error) {
+	bar := f.Endpoints[ep].Port.BAR()
+	if bar == nil {
+		return 0, fmt.Errorf("topo: endpoint %d has no BAR window", ep)
+	}
+	if off < 0 || off >= bar.Size {
+		return 0, fmt.Errorf("topo: offset %d outside endpoint %d's %dB BAR", off, ep, bar.Size)
+	}
+	return bar.Base + uint64(off), nil
+}

@@ -1,0 +1,398 @@
+package topo_test
+
+import (
+	"testing"
+
+	"pciebench/internal/bench"
+	"pciebench/internal/pcie"
+	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
+	"pciebench/internal/workload"
+)
+
+func benchParams() bench.Params {
+	return bench.Params{
+		WindowSize:   8 << 10,
+		TransferSize: 64,
+		Transactions: 400,
+		Cache:        bench.HostWarm,
+	}
+}
+
+func target(ep *topo.Endpoint, host *topo.Fabric) *bench.Target {
+	return &bench.Target{Host: host.Host, Engine: ep.Engine, Buffer: ep.Buffer}
+}
+
+// TestDegenerateFabricMatchesBuild: sysconf.Build and a one-endpoint
+// Fabric produce identical benchmark samples — Build *is* the
+// degenerate fabric.
+func TestDegenerateFabricMatchesBuild(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := sys.Build(sysconf.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := sys.Fabric(topo.Shape{}, sysconf.Options{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := bench.LatRd(inst.Target(), benchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bench.LatRd(target(fab.Endpoints[0], fab), benchParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != len(b.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a.Samples[i], b.Samples[i])
+		}
+	}
+}
+
+// transparentSpec returns the system's degenerate spec with a
+// timing-transparent switch inserted: zero forwarding latency, zero
+// uplink wire delay, same uplink speed, infinite credits.
+func transparentSpec(t *testing.T, sys sysconf.System, opt sysconf.Options) topo.Spec {
+	t.Helper()
+	spec, err := sys.TopoSpec(topo.Shape{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Switches = []topo.SwitchSpec{{Socket: 0, Uplink: spec.Endpoints[0].Link}}
+	spec.Endpoints[0].Switch = 0
+	return spec
+}
+
+// TestTransparentSwitchFabricByteIdentical is the satellite
+// byte-identity property at the full-stack level: a one-endpoint
+// fabric below a transparent switch reproduces the no-switch fabric's
+// latency samples and bandwidth exactly, across benchmark kinds and
+// the traffic engine.
+func TestTransparentSwitchFabricByteIdentical(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sysconf.Options{Seed: 3}
+	plain, err := sys.Fabric(topo.Shape{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := transparentSpec(t, sys, opt)
+	switched, err := topo.Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p := benchParams()
+	la, err := bench.LatWrRd(target(plain.Endpoints[0], plain), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := bench.LatWrRd(target(switched.Endpoints[0], switched), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(la.Samples) != len(lb.Samples) {
+		t.Fatalf("sample counts differ: %d vs %d", len(la.Samples), len(lb.Samples))
+	}
+	for i := range la.Samples {
+		if la.Samples[i] != lb.Samples[i] {
+			t.Fatalf("LAT_WRRD sample %d differs: %v vs %v", i, la.Samples[i], lb.Samples[i])
+		}
+	}
+
+	ba, err := bench.BwRd(target(plain.Endpoints[0], plain), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := bench.BwRd(target(switched.Endpoints[0], switched), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ba.Gbps != bb.Gbps || ba.Elapsed != bb.Elapsed {
+		t.Errorf("BW_RD differs: %v/%v vs %v/%v", ba.Gbps, ba.Elapsed, bb.Gbps, bb.Elapsed)
+	}
+}
+
+// TestTransparentSwitchWorkloadByteIdentical extends the identity to
+// the multi-queue traffic engine.
+func TestTransparentSwitchWorkloadByteIdentical(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := sysconf.Options{Seed: 5}
+	run := func(f *topo.Fabric) *workload.Result {
+		cfg := workload.Config{Queues: 2, Seed: 9, BufferBytes: f.Endpoints[0].Buffer.Size}
+		f.Endpoints[0].Buffer.WarmHost(0, cfg.Footprint())
+		res, err := workload.Run(f.Kernel, f.RC, f.Endpoints[0].Buffer.DMAAddr(0), cfg, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	plain, err := sys.Fabric(topo.Shape{}, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switched, err := topo.Build(transparentSpec(t, sys, opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := run(plain), run(switched)
+	if a.Elapsed != b.Elapsed || a.PPS != b.PPS || a.Latency != b.Latency {
+		t.Errorf("workload differs: %+v vs %+v", a, b)
+	}
+}
+
+// TestFabricContention: N endpoints behind one real switch partition
+// the uplink near-equally and inflate completion latency vs a single
+// endpoint.
+func TestFabricContention(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(n int) *workload.MultiResult {
+		fab, err := sys.Fabric(topo.Shape{Endpoints: n, Switch: shapeLink()}, sysconf.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.Config{Seed: 1, BufferBytes: fab.Endpoints[0].Buffer.Size}
+		res, err := topo.RunWorkload(fab, cfg, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one := run(1)
+	four := run(4)
+	if four.Latency.P99 <= one.Latency.P99 {
+		t.Errorf("4-endpoint p99 %.0fns not above 1-endpoint %.0fns", four.Latency.P99, one.Latency.P99)
+	}
+	var min, max float64
+	for i, ep := range four.Endpoints {
+		if i == 0 || ep.PPS < min {
+			min = ep.PPS
+		}
+		if ep.PPS > max {
+			max = ep.PPS
+		}
+	}
+	if min/max < 0.9 {
+		t.Errorf("unfair partitioning: %.0f vs %.0f pps", min, max)
+	}
+}
+
+func shapeLink() *pcie.LinkConfig {
+	l := pcie.DefaultGen3x8()
+	return &l
+}
+
+// TestRunP2P: the direct peer path beats the host-DRAM bounce on
+// delivery latency, and both report sane bandwidth.
+func TestRunP2P(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(mode string) *topo.P2PResult {
+		fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Switch: shapeLink()}, sysconf.Options{Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := topo.RunP2P(fab, mode, 256, 200)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	direct := run(topo.P2PDirect)
+	bounce := run(topo.P2PBounce)
+	if direct.Latency.Median >= bounce.Latency.Median {
+		t.Errorf("direct p2p median %.0fns not below bounce %.0fns", direct.Latency.Median, bounce.Latency.Median)
+	}
+	if direct.Gbps <= 0 || bounce.Gbps <= 0 {
+		t.Errorf("non-positive bandwidth: direct %.2f bounce %.2f", direct.Gbps, bounce.Gbps)
+	}
+}
+
+// TestRunP2PErrors: bad modes and missing BARs fail loudly.
+func TestRunP2PErrors(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-HSW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Switch: shapeLink()}, sysconf.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.RunP2P(fab, "sideways", 64, 10); err == nil {
+		t.Error("bad mode accepted")
+	}
+	solo, err := sys.Fabric(topo.Shape{}, sysconf.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := topo.RunP2P(solo, topo.P2PDirect, 64, 10); err == nil {
+		t.Error("single-endpoint fabric accepted")
+	}
+}
+
+// TestSplitPlacement: on a two-node system, split placement homes
+// endpoint 1 on socket 1; its access to a node-0 buffer is remote and
+// slower than endpoint 0's local access.
+func TestSplitPlacement(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-BDW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Placement: "split"}, sysconf.Options{Seed: 1, NoJitter: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fab.Endpoints[1].Port.Socket().Node(); got != 1 {
+		t.Fatalf("endpoint 1 on socket node %d, want 1", got)
+	}
+	// Both endpoints read endpoint 0's buffer (homed on node 0).
+	addr := fab.Endpoints[0].Buffer.DMAAddr(0)
+	fab.Endpoints[0].Buffer.WarmHost(0, 4096)
+	local, err := fab.Endpoints[0].Port.DMARead(fab.Kernel.Now(), addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := fab.Endpoints[1].Port.DMARead(fab.Kernel.Now(), addr, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl := local.Complete - fab.Kernel.Now()
+	dr := remote.Complete - fab.Kernel.Now()
+	if dr <= dl {
+		t.Errorf("cross-socket read (%v) not slower than local (%v)", dr, dl)
+	}
+	// Split on a single-node system is rejected.
+	hsw, _ := sysconf.ByName("NFP6000-HSW")
+	if _, err := hsw.Fabric(topo.Shape{Endpoints: 2, Placement: "split"}, sysconf.Options{}); err == nil {
+		t.Error("split placement on a 1-node system accepted")
+	}
+}
+
+// TestSpecValidate rejects dangling references.
+func TestSpecValidate(t *testing.T) {
+	sys, _ := sysconf.ByName("NFP6000-HSW")
+	spec, err := sys.TopoSpec(topo.Shape{}, sysconf.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := spec
+	bad.Endpoints = append([]topo.EndpointSpec(nil), spec.Endpoints...)
+	bad.Endpoints[0].Switch = 3
+	if _, err := topo.Build(bad); err == nil {
+		t.Error("dangling switch reference accepted")
+	}
+	bad = spec
+	bad.Sockets = nil
+	if _, err := topo.Build(bad); err == nil {
+		t.Error("socketless spec accepted")
+	}
+}
+
+// TestShapeAndSwitchParsing covers the selector surface.
+func TestShapeAndSwitchParsing(t *testing.T) {
+	if sw, err := topo.ParseSwitch("gen4x16"); err != nil || sw.Lanes != 16 {
+		t.Errorf("gen4x16: %v %v", sw, err)
+	}
+	if sw, err := topo.ParseSwitch("none"); err != nil || sw != nil {
+		t.Errorf("none: %v %v", sw, err)
+	}
+	if sw, err := topo.ParseSwitch("on"); err != nil || sw == nil {
+		t.Errorf("on: %v %v", sw, err)
+	}
+	for _, bad := range []string{"gen9x9", "genx", "gen3", "usb"} {
+		if _, err := topo.ParseSwitch(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if err := (topo.Shape{Endpoints: -1}).Validate(1); err == nil {
+		t.Error("negative endpoints accepted")
+	}
+	if err := (topo.Shape{Endpoints: 65}).Validate(1); err == nil {
+		t.Error("65 endpoints accepted")
+	}
+	if err := (topo.Shape{Placement: "9"}).Validate(2); err == nil {
+		t.Error("out-of-range socket accepted")
+	}
+	if err := (topo.Shape{Placement: "bogus"}).Validate(2); err == nil {
+		t.Error("bogus placement accepted")
+	}
+	l := topo.DefaultSwitch(pcieLink(), 0)
+	if l.ForwardLatency != topo.DefaultSwitchForwardLatency || l.UpCredits.P.Hdr == 0 {
+		t.Errorf("default switch spec malformed: %+v", l)
+	}
+}
+
+func pcieLink() pcie.LinkConfig { return pcie.DefaultGen3x8() }
+
+// TestBARAddr covers the p2p address helper.
+func TestBARAddr(t *testing.T) {
+	sys, _ := sysconf.ByName("NFP6000-HSW")
+	fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Switch: shapeLink()}, sysconf.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := fab.BARAddr(1, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fab.BARAddr(1, 0); a != b+4096 {
+		t.Errorf("BARAddr arithmetic: %#x vs %#x", a, b)
+	}
+	if _, err := fab.BARAddr(1, -1); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := fab.BARAddr(1, 1<<30); err == nil {
+		t.Error("offset beyond the window accepted")
+	}
+	solo, err := sys.Fabric(topo.Shape{}, sysconf.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solo.BARAddr(0, 0); err == nil {
+		t.Error("BARAddr on a BAR-less endpoint accepted")
+	}
+}
+
+// TestCrossSocketP2PPaysInterconnect: direct peer DMA between sockets
+// routes across the inter-socket interconnect and is slower than the
+// same transfer between two endpoints on one socket.
+func TestCrossSocketP2PPaysInterconnect(t *testing.T) {
+	sys, err := sysconf.ByName("NFP6000-BDW")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(placement string) *topo.P2PResult {
+		fab, err := sys.Fabric(topo.Shape{Endpoints: 2, Placement: placement}, sysconf.Options{Seed: 1, NoJitter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := topo.RunP2P(fab, topo.P2PDirect, 1024, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	same := run("")
+	cross := run("split")
+	if cross.Latency.Median <= same.Latency.Median {
+		t.Errorf("cross-socket p2p median %.0fns not above same-socket %.0fns", cross.Latency.Median, same.Latency.Median)
+	}
+}

@@ -1,0 +1,21 @@
+package topo
+
+import (
+	"pciebench/internal/workload"
+)
+
+// RunWorkload drives cfg's traffic on every endpoint of the fabric
+// concurrently: each endpoint's ring region is host-warmed, its port
+// becomes the workload path and its buffer base the queue region, then
+// workload.RunMulti executes them all on the shared kernel. This is
+// the single assembly the sweep engine, the CLI and the examples share.
+func RunWorkload(f *Fabric, cfg workload.Config, pairsEach int) (*workload.MultiResult, error) {
+	paths := make([]workload.Path, len(f.Endpoints))
+	bases := make([]uint64, len(f.Endpoints))
+	for i, ep := range f.Endpoints {
+		ep.Buffer.WarmHost(0, cfg.Footprint())
+		paths[i] = ep.Port
+		bases[i] = ep.Buffer.DMAAddr(0)
+	}
+	return workload.RunMulti(f.Kernel, paths, bases, cfg, pairsEach)
+}

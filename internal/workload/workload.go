@@ -32,9 +32,22 @@ import (
 
 	"pciebench/internal/model"
 	"pciebench/internal/rc"
+	"pciebench/internal/runner"
 	"pciebench/internal/sim"
 	"pciebench/internal/stats"
 )
+
+// Path is the PCIe attachment a workload drives. Both *rc.RootComplex
+// (the degenerate single-device form) and *rc.Port (one endpoint of a
+// multi-device topology) implement it, so the same traffic engine runs
+// against a lone adapter or against N endpoints contending for a
+// shared switch uplink.
+type Path interface {
+	DMARead(at sim.Time, dma uint64, sz int) (rc.ReadResult, error)
+	DMAWrite(at sim.Time, dma uint64, sz int) (rc.WriteResult, error)
+	MMIOWrite(at sim.Time, sz int) sim.Time
+	MMIORead(at sim.Time, sz int, devLatency sim.Time) sim.Time
+}
 
 // Moderation tunes a design's ring mechanisms per queue. Zero values
 // keep the design's own amortization; the knobs rewrite interactions
@@ -364,7 +377,7 @@ func compileMix(design model.NIC) []txn {
 // steady-state loop schedules nothing that allocates.
 type runState struct {
 	k       *sim.Kernel
-	complex *rc.RootComplex
+	complex Path
 	cfg     Config
 	rng     *rand.Rand
 	queues  []queueState
@@ -527,44 +540,20 @@ func (s *runState) issueOne(q, size int, arrival sim.Time) {
 	s.k.AtEvent(pairEnd, pairDoneEvent{s}, int64(q)<<32|int64(size), int64(arrival))
 }
 
-// Run drives complex with cfg's traffic until pairs packet pairs have
-// completed, with each queue's buffer region starting at bufDMA +
-// queue*QueueStride, and returns the per-queue and aggregate rates and
-// latency percentiles. The simulation starts at the kernel's current
-// time, so a fresh instance and a shared one measure the same way.
-func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pairs int) (*Result, error) {
-	if pairs <= 0 {
-		return nil, fmt.Errorf("workload: pairs %d, want > 0", pairs)
-	}
-	cfg = cfg.WithDefaults()
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-
+// newRunState builds one engine state over path with the given
+// workload randomness seed. cfg must already be resolved and valid.
+func newRunState(k *sim.Kernel, path Path, bufDMA uint64, cfg Config, pairs int, seed int64) *runState {
 	s := &runState{
 		k:       k,
-		complex: complex,
+		complex: path,
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		rng:     rand.New(rand.NewSource(seed)),
 		queues:  make([]queueState, cfg.Queues),
 		pairs:   pairs,
 		latPtr:  getLatBuf(),
 		closed:  cfg.Arrival.Saturating(),
 	}
 	s.lat = *s.latPtr
-	defer func() {
-		putLatBuf(s.latPtr, s.lat)
-		for q := range s.queues {
-			qs := &s.queues[q]
-			if qs.latPtr != nil {
-				putLatBuf(qs.latPtr, qs.lat)
-			}
-			if qs.backlogPtr != nil {
-				*qs.backlogPtr = qs.backlog[:0]
-				backlogPool.Put(qs.backlogPtr)
-			}
-		}
-	}()
 	for q := range s.queues {
 		mod := cfg.Moderation
 		if cfg.PerQueue != nil {
@@ -583,26 +572,46 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 			s.queues[q].backlogPtr = bp
 		}
 	}
+	return s
+}
 
-	start := k.Now()
-	k.AfterEvent(0, startEvent{s}, 0, 0)
-	k.Run()
+// release returns the state's pooled buffers.
+func (s *runState) release() {
+	putLatBuf(s.latPtr, s.lat)
+	for q := range s.queues {
+		qs := &s.queues[q]
+		if qs.latPtr != nil {
+			putLatBuf(qs.latPtr, qs.lat)
+		}
+		if qs.backlogPtr != nil {
+			*qs.backlogPtr = qs.backlog[:0]
+			backlogPool.Put(qs.backlogPtr)
+		}
+	}
+}
+
+// finished validates that the run completed all its pairs.
+func (s *runState) finished() error {
 	if s.err != nil {
-		return nil, s.err
+		return s.err
 	}
-	if s.endAt == 0 || s.done != pairs {
-		return nil, fmt.Errorf("workload: run did not complete (%d/%d pairs)", s.done, pairs)
+	if s.endAt == 0 || s.done != s.pairs {
+		return fmt.Errorf("workload: run did not complete (%d/%d pairs)", s.done, s.pairs)
 	}
+	return nil
+}
 
+// collect assembles the state's Result for a run that started at
+// start. Rates use the state's own completion horizon.
+func (s *runState) collect(start sim.Time, scratch *stats.Scratch) *Result {
 	elapsed := s.endAt - start
 	secs := elapsed.Seconds()
 	res := &Result{
-		Pairs:      pairs,
+		Pairs:      s.pairs,
 		Elapsed:    elapsed,
-		PPS:        float64(pairs) / secs,
-		OfferedPPS: cfg.Arrival.OfferedPPS(),
+		PPS:        float64(s.pairs) / secs,
+		OfferedPPS: s.cfg.Arrival.OfferedPPS(),
 	}
-	var scratch stats.Scratch
 	var totalBytes int64
 	for q := range s.queues {
 		qs := &s.queues[q]
@@ -620,6 +629,115 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 	}
 	res.GbpsPerDirection = float64(totalBytes) * 8 / secs / 1e9
 	res.Latency, _ = scratch.Summarize(s.lat)
+	return res
+}
+
+// Run drives complex with cfg's traffic until pairs packet pairs have
+// completed, with each queue's buffer region starting at bufDMA +
+// queue*QueueStride, and returns the per-queue and aggregate rates and
+// latency percentiles. The simulation starts at the kernel's current
+// time, so a fresh instance and a shared one measure the same way.
+func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pairs int) (*Result, error) {
+	if pairs <= 0 {
+		return nil, fmt.Errorf("workload: pairs %d, want > 0", pairs)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := newRunState(k, complex, bufDMA, cfg, pairs, cfg.Seed)
+	defer s.release()
+
+	start := k.Now()
+	k.AfterEvent(0, startEvent{s}, 0, 0)
+	k.Run()
+	if err := s.finished(); err != nil {
+		return nil, err
+	}
+	var scratch stats.Scratch
+	return s.collect(start, &scratch), nil
+}
+
+// EndpointResult is one endpoint's share of a multi-endpoint run.
+type EndpointResult struct {
+	// Endpoint indexes the path the traffic ran on.
+	Endpoint int `json:"endpoint"`
+	Result
+}
+
+// MultiResult is the outcome of a multi-endpoint traffic run: the
+// aggregate over the whole fabric plus the per-endpoint breakdown.
+type MultiResult struct {
+	// Pairs is the total completed packet-pair count across endpoints.
+	Pairs int `json:"pairs"`
+	// Elapsed spans start to the last endpoint's final completion.
+	Elapsed sim.Time `json:"elapsed_ps"`
+	// PPS and GbpsPerDirection aggregate all endpoints over Elapsed.
+	PPS              float64 `json:"pps"`
+	GbpsPerDirection float64 `json:"gbps"`
+	// Latency summarizes completion latency across every endpoint.
+	Latency stats.Summary `json:"latency_ns"`
+	// Endpoints holds the per-endpoint breakdown.
+	Endpoints []EndpointResult `json:"endpoints"`
+}
+
+// RunMulti drives the same workload on every path concurrently — one
+// independent engine state per endpoint, all sharing the kernel, so
+// their traffic contends for whatever the topology shares (a switch
+// uplink, the root-complex pipeline, the LLC). bases[i] is endpoint
+// i's buffer base address; each endpoint's workload randomness is
+// decorrelated from cfg.Seed by its index. Every endpoint completes
+// pairsEach packet pairs.
+func RunMulti(k *sim.Kernel, paths []Path, bases []uint64, cfg Config, pairsEach int) (*MultiResult, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("workload: no paths")
+	}
+	if len(paths) != len(bases) {
+		return nil, fmt.Errorf("workload: %d paths but %d buffer bases", len(paths), len(bases))
+	}
+	if pairsEach <= 0 {
+		return nil, fmt.Errorf("workload: pairs %d, want > 0", pairsEach)
+	}
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	states := make([]*runState, len(paths))
+	for i := range paths {
+		states[i] = newRunState(k, paths[i], bases[i], cfg, pairsEach, runner.Seed(cfg.Seed, i))
+		defer states[i].release()
+	}
+	start := k.Now()
+	for _, s := range states {
+		k.AfterEvent(0, startEvent{s}, 0, 0)
+	}
+	k.Run()
+
+	res := &MultiResult{}
+	var scratch stats.Scratch
+	var allLat []float64
+	var totalBytes int64
+	for i, s := range states {
+		if err := s.finished(); err != nil {
+			return nil, fmt.Errorf("workload: endpoint %d: %w", i, err)
+		}
+		if s.endAt > res.Elapsed {
+			res.Elapsed = s.endAt
+		}
+		res.Pairs += s.pairs
+		allLat = append(allLat, s.lat...)
+		for q := range s.queues {
+			totalBytes += s.queues[q].bytes
+		}
+		res.Endpoints = append(res.Endpoints, EndpointResult{Endpoint: i, Result: *s.collect(start, &scratch)})
+	}
+	res.Elapsed -= start
+	secs := res.Elapsed.Seconds()
+	res.PPS = float64(res.Pairs) / secs
+	res.GbpsPerDirection = float64(totalBytes) * 8 / secs / 1e9
+	res.Latency, _ = scratch.Summarize(allLat)
 	return res, nil
 }
 
