@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke bench-compare clean
+.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke bench-compare serve-smoke clean
 
 all: build test
 
@@ -80,6 +80,13 @@ bench-compare:
 	$(GO) run ./cmd/benchjson -compare $$old < bench-compare.out || \
 		{ rm -f bench-compare.out; exit 1; }; \
 	rm -f bench-compare.out
+
+# End-to-end smoke of the sweep service (cmd/pcie-served): boots the
+# server, drives the v1 HTTP API, checks served-vs-CLI byte identity
+# and cache accounting, then shuts it down. What CI's "Service smoke"
+# step runs.
+serve-smoke:
+	sh examples/serve/smoke.sh
 
 clean:
 	rm -rf repro-out

@@ -100,6 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		specPath   = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
 		format     = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
 		full       = fs.Bool("full", false, "paper-scale sample counts for sweeps (slower)")
+		cacheDir   = fs.String("cache-dir", "", "dedup sweep cells against an on-disk result cache in this directory")
 
 		// Traffic-engine knobs (-bench workload).
 		queues   = fs.Int("queues", 1, "workload: RX/TX queue pairs")
@@ -168,27 +169,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return nil
 	}
 
-	if *sweeps || *runName != "" || *specPath != "" {
-		if *sweeps {
-			sweep.ListSpecs(stdout)
-			return nil
-		}
-		q := sweep.Quick
-		if *full {
-			q = sweep.Full
-		}
-		var spec *sweep.Spec
-		var err error
-		if *runName != "" {
-			spec, err = sweep.ByName(*runName)
-		} else {
-			spec, err = sweep.LoadSpecFile(*specPath)
-		}
-		if err != nil {
-			return err
-		}
-		return sweep.RunAndEmit(context.Background(), spec, fs.Args(), *format,
-			sweep.RunOptions{Workers: *parallel, Quality: q}, stdout, stderr)
+	q := sweep.Quick
+	if *full {
+		q = sweep.Full
+	}
+	cli := &sweep.CLI{
+		List: *sweeps, RunName: *runName, SpecPath: *specPath,
+		Overrides: fs.Args(), Format: *format,
+		Workers: *parallel, Quality: q, CacheDir: *cacheDir,
+	}
+	if cli.Active() {
+		return cli.Execute(context.Background(), stdout, stderr)
 	}
 
 	if *suite {

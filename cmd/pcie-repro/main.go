@@ -60,6 +60,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		runName  = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
 		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
 		format   = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
+		cacheDir = fs.String("cache-dir", "", "dedup sweep cells against an on-disk result cache in this directory")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,23 +72,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	report.SetParallelism(*parallel)
 
-	opt := sweep.RunOptions{Workers: *parallel, Quality: q}
-	switch {
-	case *list:
-		sweep.ListSpecs(stdout)
-		return nil
-	case *runName != "":
-		spec, err := sweep.ByName(*runName)
-		if err != nil {
-			return err
-		}
-		return sweep.RunAndEmit(context.Background(), spec, fs.Args(), *format, opt, stdout, stderr)
-	case *specPath != "":
-		spec, err := sweep.LoadSpecFile(*specPath)
-		if err != nil {
-			return err
-		}
-		return sweep.RunAndEmit(context.Background(), spec, fs.Args(), *format, opt, stdout, stderr)
+	cli := &sweep.CLI{
+		List: *list, RunName: *runName, SpecPath: *specPath,
+		Overrides: fs.Args(), Format: *format,
+		Workers: *parallel, Quality: q, CacheDir: *cacheDir,
+	}
+	if cli.Active() {
+		return cli.Execute(context.Background(), stdout, stderr)
 	}
 	if len(fs.Args()) > 0 {
 		return fmt.Errorf("unexpected arguments %v (axis overrides need -run or -spec)", fs.Args())

@@ -1,0 +1,38 @@
+// Package buildinfo resolves the running build's version string. The
+// content-addressed result cache partitions on it, so results computed
+// by one build never serve a request from another: simulator changes
+// that alter numbers invalidate the cache automatically.
+package buildinfo
+
+import "runtime/debug"
+
+// Version returns the best available identity of this build: the VCS
+// revision baked in by the Go toolchain (suffixed "+dirty" for
+// modified trees), else the module version, else "dev".
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + dirty
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	return "dev"
+}

@@ -1,0 +1,127 @@
+package cache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// stores builds one of each implementation for table-driven contract
+// tests.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"memory": NewMemory(), "disk": disk}
+}
+
+func TestStoreContract(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			key := Key([]byte("cell-spec-1"))
+			if _, ok := s.Get(key); ok {
+				t.Fatal("empty store reported a hit")
+			}
+			if s.Len() != 0 {
+				t.Fatalf("empty store Len = %d", s.Len())
+			}
+			s.Put(key, []byte("result-1"))
+			got, ok := s.Get(key)
+			if !ok || string(got) != "result-1" {
+				t.Fatalf("Get = %q, %v; want result-1, true", got, ok)
+			}
+			// Entries are immutable: a second Put of the same key keeps
+			// the first value.
+			s.Put(key, []byte("clobbered"))
+			if got, _ := s.Get(key); string(got) != "result-1" {
+				t.Fatalf("Put overwrote an existing entry: %q", got)
+			}
+			s.Put(Key([]byte("cell-spec-2")), []byte("result-2"))
+			if s.Len() != 2 {
+				t.Fatalf("Len = %d, want 2", s.Len())
+			}
+		})
+	}
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 8; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < 50; j++ {
+						key := Key([]byte(fmt.Sprintf("k%d", j)))
+						s.Put(key, []byte(fmt.Sprintf("v%d", j)))
+						if v, ok := s.Get(key); ok && string(v) != fmt.Sprintf("v%d", j) {
+							t.Errorf("torn read: %q", v)
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if s.Len() != 50 {
+				t.Fatalf("Len = %d, want 50", s.Len())
+			}
+		})
+	}
+}
+
+func TestKeyIsContentAddressed(t *testing.T) {
+	a, b := Key([]byte("spec-a")), Key([]byte("spec-b"))
+	if a == b {
+		t.Fatal("distinct content hashed to one key")
+	}
+	if a != Key([]byte("spec-a")) {
+		t.Fatal("key not deterministic")
+	}
+	if len(a) != 64 {
+		t.Fatalf("key length %d, want 64 hex chars", len(a))
+	}
+}
+
+// TestDiskPersists reopens a store on the same directory and still
+// finds the entry — the property the serving cache relies on across
+// restarts.
+func TestDiskPersists(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("persistent"))
+	s1.Put(key, []byte("survives"))
+
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "survives" {
+		t.Fatalf("reopened store: Get = %q, %v", got, ok)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("reopened store Len = %d, want 1", s2.Len())
+	}
+}
+
+// TestDiskSharding checks the two-hex-char fanout layout so a store
+// directory never collects millions of siblings.
+func TestDiskShard(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key([]byte("sharded"))
+	s.Put(key, []byte("x"))
+	if _, err := os.Stat(filepath.Join(dir, key[:2], key)); err != nil {
+		t.Fatalf("entry not at sharded path: %v", err)
+	}
+}

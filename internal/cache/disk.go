@@ -1,0 +1,89 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Disk is the persistent Store: one file per entry under a root
+// directory, sharded by the first two hex characters of the key so no
+// single directory grows unbounded. Writes go through a temp file and
+// an atomic rename, so a crashed or concurrent writer can never leave
+// a torn entry behind — readers see the whole blob or a miss.
+type Disk struct {
+	root string
+	// mu serializes writers of the same key; cross-process safety comes
+	// from the rename, this only avoids redundant temp files in-process.
+	mu sync.Mutex
+}
+
+// NewDisk opens (creating if needed) an on-disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Disk{root: dir}, nil
+}
+
+// path maps a key to its entry file.
+func (c *Disk) path(key string) string {
+	shard := "__"
+	if len(key) >= 2 {
+		shard = key[:2]
+	}
+	return filepath.Join(c.root, shard, key)
+}
+
+// Get returns the blob stored under key.
+func (c *Disk) Get(key string) ([]byte, bool) {
+	val, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return val, true
+}
+
+// Put stores val under key via temp-file-plus-rename; errors are
+// swallowed (the entry is simply lost, and the cell recomputes next
+// time).
+func (c *Disk) Put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dst := c.path(key)
+	if _, err := os.Stat(dst); err == nil {
+		return // immutable entries: first write wins
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(dst), "."+key+".tmp*")
+	if err != nil {
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(val); err != nil {
+		tmp.Close()
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		return
+	}
+	_ = os.Rename(tmp.Name(), dst)
+}
+
+// Len walks the store and counts entries.
+func (c *Disk) Len() int {
+	n := 0
+	_ = filepath.WalkDir(c.root, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil
+		}
+		if !strings.HasPrefix(d.Name(), ".") {
+			n++
+		}
+		return nil
+	})
+	return n
+}

@@ -6,12 +6,107 @@ import (
 	"io"
 	"os"
 	"strings"
+
+	"pciebench/internal/buildinfo"
+	"pciebench/internal/cache"
 )
 
 // The helpers below are the shared CLI surface of cmd/pcie-repro and
 // cmd/pcie-bench: list registered sweeps, load a JSON spec, and run a
-// grid with overrides applied and the result emitted. Keeping them
-// here means the two commands cannot drift apart.
+// grid through the Engine with overrides applied and the result
+// emitted. Keeping the dispatch here means the commands cannot drift
+// apart — they parse flags, fill a CLI and call Execute.
+
+// CLI is the shared sweep dispatch of the commands: exactly one of
+// List, RunName or SpecPath selects the action.
+type CLI struct {
+	// List prints the registered sweeps and exits.
+	List bool
+	// RunName runs a registered sweep by name.
+	RunName string
+	// SpecPath runs a custom sweep from a JSON spec file.
+	SpecPath string
+	// Overrides are trailing "name=v1,v2,..." axis/base overrides.
+	Overrides []string
+	// Format selects the emitter (see Formats).
+	Format string
+	// Workers is the per-run worker pool size (0 = GOMAXPROCS).
+	Workers int
+	// Quality scales transaction counts (Quick or Full).
+	Quality Quality
+	// CacheDir, when non-empty, dedups cells against an on-disk
+	// content-addressed result cache rooted there; identical cells are
+	// served without executing and a short hit/miss line goes to
+	// stderr.
+	CacheDir string
+}
+
+// Active reports whether any sweep-dispatch action was requested.
+func (c *CLI) Active() bool {
+	return c.List || c.RunName != "" || c.SpecPath != ""
+}
+
+// Execute performs the selected action, writing results to stdout and
+// progress/accounting to stderr (either may be nil to discard).
+func (c *CLI) Execute(ctx context.Context, stdout, stderr io.Writer) error {
+	if stdout == nil {
+		stdout = io.Discard
+	}
+	if stderr == nil {
+		stderr = io.Discard
+	}
+	if c.List {
+		ListSpecs(stdout)
+		return nil
+	}
+	var spec *Spec
+	var err error
+	if c.RunName != "" {
+		spec, err = ByName(c.RunName)
+	} else {
+		spec, err = LoadSpecFile(c.SpecPath)
+	}
+	if err != nil {
+		return err
+	}
+
+	emit, err := EmitterFor(c.Format)
+	if err != nil {
+		return err
+	}
+	if err := spec.ApplyOverrides(c.Overrides); err != nil {
+		return err
+	}
+
+	engine := &Engine{Workers: c.Workers, Quality: c.Quality}
+	if c.CacheDir != "" {
+		store, err := cache.NewDisk(c.CacheDir)
+		if err != nil {
+			return fmt.Errorf("sweep: open cache: %w", err)
+		}
+		engine.Cache = store
+		engine.Build = buildinfo.Version()
+	}
+	// Grids above 64 cells get a progress meter on stderr.
+	if spec.Count() > 64 {
+		total := spec.Count()
+		engine.Progress = func(done, _ int) {
+			if done%32 == 0 || done == total {
+				fmt.Fprintf(stderr, "\r%d/%d", done, total)
+			}
+		}
+		defer fmt.Fprintln(stderr)
+	}
+	res, stats, err := engine.Run(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if engine.Cache != nil {
+		fmt.Fprintf(stderr, "cache: %d/%d cells hit, %d executed\n",
+			stats.Hits, stats.Cells, stats.Executed)
+	}
+	return emit(stdout, res)
+}
 
 // ListSpecs prints the registered sweeps: name, cell count, axis
 // shapes and description.
@@ -38,31 +133,4 @@ func LoadSpecFile(path string) (*Spec, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return s, nil
-}
-
-// RunAndEmit applies CLI overrides to the spec, executes the grid and
-// emits it to stdout in the requested format. When the caller leaves
-// opt.Progress nil and passes a non-nil stderr, grids above 64 cells
-// get a progress meter there.
-func RunAndEmit(ctx context.Context, spec *Spec, overrides []string, format string, opt RunOptions, stdout, stderr io.Writer) error {
-	emit, err := EmitterFor(format)
-	if err != nil {
-		return err
-	}
-	if err := spec.ApplyOverrides(overrides); err != nil {
-		return err
-	}
-	if opt.Progress == nil && stderr != nil && spec.Count() > 64 {
-		opt.Progress = func(done, total int) {
-			if done%32 == 0 || done == total {
-				fmt.Fprintf(stderr, "\r%d/%d", done, total)
-			}
-		}
-		defer fmt.Fprintln(stderr)
-	}
-	res, err := spec.Run(ctx, opt)
-	if err != nil {
-		return err
-	}
-	return emit(stdout, res)
 }

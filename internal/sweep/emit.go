@@ -13,12 +13,24 @@ import (
 // Emitter renders an executed sweep to a writer.
 type Emitter func(w io.Writer, r *Result) error
 
-// emitters maps format names to implementations.
+// emitters is the table-driven format registry: the single source of
+// truth behind the CLIs' -format flag and the server's ?format= query,
+// so both share one lookup and one error message.
 var emitters = map[string]Emitter{
-	"table": emitTable,
-	"tsv":   emitTSV,
-	"json":  emitJSON,
-	"csv":   emitCSV,
+	"table":  emitTable,
+	"tsv":    emitTSV,
+	"json":   emitJSON,
+	"csv":    emitCSV,
+	"ndjson": emitNDJSON,
+}
+
+// Emitters returns a copy of the format registry (name -> emitter).
+func Emitters() map[string]Emitter {
+	out := make(map[string]Emitter, len(emitters))
+	for name, e := range emitters {
+		out[name] = e
+	}
+	return out
 }
 
 // Formats returns the supported emitter format names, sorted.
@@ -138,35 +150,58 @@ func emitCSV(w io.Writer, r *Result) error {
 	return cw.Error()
 }
 
-// jsonCell is the machine-readable form of one cell.
-type jsonCell struct {
+// Row is the machine-readable wire form of one executed cell, shared
+// by the json and ndjson emitters and the serving layer's incremental
+// result stream.
+type Row struct {
 	Index  int                `json:"index"`
 	Coord  map[string]string  `json:"coord"`
 	Values map[string]float64 `json:"values"`
+}
+
+// RowOf builds the wire row of one cell result. labels must be
+// spec.ProbeLabels() (passed in so streaming callers compute them
+// once, not per cell).
+func RowOf(s *Spec, labels []string, c CellResult) Row {
+	coord := make(map[string]string, len(s.Axes))
+	for i, a := range s.Axes {
+		coord[a.Name] = c.Cell.Coord[i]
+	}
+	values := make(map[string]float64, len(c.Values))
+	for i, v := range c.Values {
+		if i < len(labels) {
+			values[labels[i]] = v
+		}
+	}
+	return Row{Index: c.Cell.Index, Coord: coord, Values: values}
 }
 
 // emitJSON renders the full result (spec echo plus per-cell values)
 // as indented JSON.
 func emitJSON(w io.Writer, r *Result) error {
 	labels := r.Spec.ProbeLabels()
-	cells := make([]jsonCell, 0, len(r.Cells))
+	cells := make([]Row, 0, len(r.Cells))
 	for _, c := range r.Cells {
-		coord := make(map[string]string, len(r.Spec.Axes))
-		for i, a := range r.Spec.Axes {
-			coord[a.Name] = c.Cell.Coord[i]
-		}
-		values := make(map[string]float64, len(c.Values))
-		for i, v := range c.Values {
-			if i < len(labels) {
-				values[labels[i]] = v
-			}
-		}
-		cells = append(cells, jsonCell{Index: c.Cell.Index, Coord: coord, Values: values})
+		cells = append(cells, RowOf(r.Spec, labels, c))
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Spec  *Spec      `json:"spec"`
-		Cells []jsonCell `json:"cells"`
+		Spec  *Spec `json:"spec"`
+		Cells []Row `json:"cells"`
 	}{r.Spec, cells})
+}
+
+// emitNDJSON renders one compact JSON row per cell — the batch twin of
+// the serving layer's ?stream=1 output, so a streamed result and a
+// fetched one compare line for line.
+func emitNDJSON(w io.Writer, r *Result) error {
+	labels := r.Spec.ProbeLabels()
+	enc := json.NewEncoder(w)
+	for _, c := range r.Cells {
+		if err := enc.Encode(RowOf(r.Spec, labels, c)); err != nil {
+			return err
+		}
+	}
+	return nil
 }

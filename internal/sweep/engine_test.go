@@ -1,0 +1,258 @@
+package sweep
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"pciebench/internal/cache"
+)
+
+// engineSpec is a small two-axis grid for cache-accounting tests:
+// 2 transfers x 2 cache states = 4 fast latency cells.
+func engineSpec() *Spec {
+	return &Spec{
+		Name: "engine-test",
+		Axes: []Axis{
+			StrAxis("transfer", "64", "128"),
+			StrAxis("cache", "warm", "cold"),
+		},
+		Base: map[string]string{"bench": "lat_rd", "n": "2K", "window": "8K"},
+	}
+}
+
+func engineTSV(t *testing.T, res *Result) string {
+	t.Helper()
+	emit, err := EmitterFor("tsv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := emit(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestEngineIdenticalResubmit pins the headline cache property: the
+// second run of an identical spec executes zero cells and still emits
+// byte-identical output.
+func TestEngineIdenticalResubmit(t *testing.T) {
+	store := cache.NewMemory()
+	e := &Engine{Workers: 3, Cache: store, Build: "test"}
+
+	res1, stats1, err := e.Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats1.Cells != 4 || stats1.Executed != 4 || stats1.Hits != 0 {
+		t.Fatalf("cold run stats = %+v, want 4 cells all executed", stats1)
+	}
+	if store.Len() != 4 {
+		t.Fatalf("store holds %d entries, want 4", store.Len())
+	}
+
+	res2, stats2, err := e.Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Executed != 0 || stats2.Hits != 4 {
+		t.Fatalf("warm run stats = %+v, want 0 executed / 4 hits", stats2)
+	}
+	if got, want := engineTSV(t, res2), engineTSV(t, res1); got != want {
+		t.Errorf("cached TSV diverged from computed TSV:\n%s\n--- vs ---\n%s", got, want)
+	}
+}
+
+// TestEngineOneAxisChange pins the incremental property: changing one
+// value of one axis recomputes only the cells that mention it.
+func TestEngineOneAxisChange(t *testing.T) {
+	store := cache.NewMemory()
+	e := &Engine{Cache: store, Build: "test"}
+	if _, _, err := e.Run(context.Background(), engineSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replace one value of the inner axis: cold -> devwarm. The two
+	// warm cells keep their grid positions (and therefore their
+	// per-cell seeds), so only the two devwarm cells are new work.
+	changed := engineSpec()
+	changed.Axes[1] = StrAxis("cache", "warm", "devwarm")
+	_, stats, err := e.Run(context.Background(), changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 2 || stats.Hits != 2 {
+		t.Fatalf("one-axis change stats = %+v, want 2 executed / 2 hits", stats)
+	}
+
+	// Extending the outer axis appends cells; every existing cell
+	// keeps its position and hits.
+	extended := engineSpec()
+	extended.Axes[0] = StrAxis("transfer", "64", "128", "256")
+	_, stats, err = e.Run(context.Background(), extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 2 || stats.Hits != 4 {
+		t.Fatalf("extended-axis stats = %+v, want 2 executed / 4 hits", stats)
+	}
+}
+
+// TestEngineCachedByteIdentity compares an uncached run against a
+// fully cached one across worker counts: the emitted bytes must be
+// identical — the guarantee that lets the service answer from cache.
+func TestEngineCachedByteIdentity(t *testing.T) {
+	uncached := &Engine{Workers: 1}
+	base, _, err := uncached.Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := engineTSV(t, base)
+
+	store := cache.NewMemory()
+	for _, workers := range []int{1, 4, 7} {
+		e := &Engine{Workers: workers, Cache: store, Build: "test"}
+		res, _, err := e.Run(context.Background(), engineSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := engineTSV(t, res); got != want {
+			t.Errorf("workers=%d (store len %d): TSV diverged:\n%s\n--- want ---\n%s",
+				workers, store.Len(), got, want)
+		}
+	}
+}
+
+// TestEngineBuildAndQualityPartitionCache: results from another build
+// or another quality level must never be served.
+func TestEngineBuildAndQualityPartitionCache(t *testing.T) {
+	store := cache.NewMemory()
+	run := func(build string, q Quality) Stats {
+		t.Helper()
+		e := &Engine{Cache: store, Build: build, Quality: q}
+		_, stats, err := e.Run(context.Background(), engineSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}
+	if s := run("build-a", Quick); s.Executed != 4 {
+		t.Fatalf("first run: %+v", s)
+	}
+	if s := run("build-b", Quick); s.Executed != 4 || s.Hits != 0 {
+		t.Fatalf("other build must miss: %+v", s)
+	}
+	if s := run("build-a", Full); s.Executed != 4 || s.Hits != 0 {
+		t.Fatalf("other quality must miss: %+v", s)
+	}
+	if s := run("build-a", Quick); s.Hits != 4 {
+		t.Fatalf("original build+quality must still hit: %+v", s)
+	}
+}
+
+// TestEngineOnCellOrder verifies the streaming hook sees every cell in
+// enumeration order even under a parallel pool and a half-warm cache.
+func TestEngineOnCellOrder(t *testing.T) {
+	store := cache.NewMemory()
+	warm := &Engine{Cache: store, Build: "test"}
+	if _, _, err := warm.Run(context.Background(), engineSpec()); err != nil {
+		t.Fatal(err)
+	}
+
+	extended := engineSpec()
+	extended.Axes[0] = StrAxis("transfer", "64", "128", "256", "512")
+	var seen []int
+	e := &Engine{
+		Workers: 5,
+		Cache:   store,
+		Build:   "test",
+		OnCell:  func(c CellResult) { seen = append(seen, c.Cell.Index) },
+	}
+	res, _, err := e.Run(context.Background(), extended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(res.Cells) {
+		t.Fatalf("OnCell saw %d cells, want %d", len(seen), len(res.Cells))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("OnCell order %v not enumeration order", seen)
+		}
+	}
+}
+
+// TestEngineSeedModesKeying: under fixed seeding a cell's address
+// ignores its grid position, under per-cell seeding it must not.
+func TestEngineSeedModesKeying(t *testing.T) {
+	s := engineSpec()
+	e := &Engine{Build: "test"}
+	perCell0, err := e.cellKey(s, s.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCell1, err := e.cellKey(s, s.Cells()[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perCell0 == perCell1 {
+		t.Fatal("distinct cells share a cache key")
+	}
+
+	// Same cell, same spec -> same key (determinism).
+	again, err := e.cellKey(s, s.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != perCell0 {
+		t.Fatal("cell key not deterministic")
+	}
+
+	// Fixed seeding: the key depends on parameters only, so the same
+	// assignment at a different position would dedup. Simulate by
+	// rebuilding the cell with a shifted index.
+	fixed := engineSpec()
+	fixed.SeedMode = SeedFixed
+	c := fixed.Cells()[0]
+	k1, err := e.cellKey(fixed, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Index = 7
+	k2, err := e.cellKey(fixed, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("fixed-seed key depends on grid position")
+	}
+}
+
+// TestEngineCorruptCacheEntry: a torn or stale blob must fall back to
+// recomputation, never to a decode error or a wrong result.
+func TestEngineCorruptCacheEntry(t *testing.T) {
+	store := cache.NewMemory()
+	e := &Engine{Cache: store, Build: "test"}
+	s := engineSpec()
+	key, err := e.cellKey(s, s.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(key, []byte("not json"))
+
+	res, stats, err := e.Run(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Executed != 4 {
+		t.Fatalf("corrupt entry should recompute: %+v", stats)
+	}
+	uncached, _, err := (&Engine{}).Run(context.Background(), engineSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if engineTSV(t, res) != engineTSV(t, uncached) {
+		t.Error("corrupt-entry run diverged from uncached run")
+	}
+}

@@ -1,7 +1,6 @@
 package sweep
 
 import (
-	"context"
 	"fmt"
 	"slices"
 
@@ -108,28 +107,9 @@ type RunOptions struct {
 	Workers int
 	// Quality resolves transaction counts left at zero.
 	Quality Quality
-	// Progress, when non-nil, receives (done, total) after every cell;
-	// calls are serialized.
+	// Progress, when non-nil, receives (done, total) as cells become
+	// available in enumeration order; calls are serialized.
 	Progress func(done, total int)
-}
-
-// Run validates the spec, expands the grid and executes every cell on
-// the worker pool. Cells are independent units — each builds its own
-// simulator instance(s) with a deterministic seed — so results are
-// collected in enumeration order and identical at any worker count.
-func (s *Spec) Run(ctx context.Context, opt RunOptions) (*Result, error) {
-	if err := s.Validate(); err != nil {
-		return nil, err
-	}
-	cells, err := runner.Map(ctx, s.Cells(),
-		runner.Options{Workers: opt.Workers, Progress: opt.Progress},
-		func(_ context.Context, _ int, c Cell) (CellResult, error) {
-			return s.runCell(c, opt.Quality)
-		})
-	if err != nil {
-		return nil, err
-	}
-	return &Result{Spec: s, Cells: cells}, nil
 }
 
 // cellSeed resolves the seed a cell builds its instances from.

@@ -16,12 +16,23 @@
 // Gen4/Gen5 links, hypothetical NIC what-ifs, custom cache/NUMA
 // matrices — run from a JSON file or axis-override strings without any
 // Go code.
+//
+// The Spec JSON format is a versioned, strict wire contract shared by
+// the CLIs and the HTTP serving layer (internal/serve): documents
+// carry a "version" field (SpecVersion; legacy version-less documents
+// read as version 1), unknown fields are rejected with errors naming
+// the valid keys, and every run path — pcie-repro, pcie-bench
+// -run/-spec, pcie-served — executes through the same Engine, which
+// dedups cells against a content-addressed result cache
+// (internal/cache) keyed by canonical cell spec + seed + build
+// version.
 package sweep
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"reflect"
 	"sort"
 	"strconv"
 	"strings"
@@ -172,9 +183,22 @@ type Contrast struct {
 	Reduce string `json:"reduce,omitempty"`
 }
 
+// SpecVersion is the current Spec wire-format version. The JSON
+// contract is versioned and strict: documents carry a "version" field
+// (legacy version-less documents are accepted as version 1), unknown
+// fields are rejected with an error naming the valid keys, and a
+// document written by a newer format version fails loudly instead of
+// being half-understood. Bump this only when the wire format changes
+// incompatibly.
+const SpecVersion = 1
+
 // Spec is one declarative sweep: a named grid of cells with the
 // measurements to take in each.
 type Spec struct {
+	// Version is the wire-format version of the document (see
+	// SpecVersion); 0 means a legacy version-less document and is
+	// equivalent to 1.
+	Version     int    `json:"version,omitempty"`
 	Name        string `json:"name"`
 	Title       string `json:"title,omitempty"`
 	Description string `json:"description,omitempty"`
@@ -709,6 +733,10 @@ func (s *Spec) mergedKV(cell map[string]string, set map[string]string) map[strin
 // (and probe's, and contrast's) resolved configuration, metrics and
 // reduction. A valid spec cannot fail cell resolution at run time.
 func (s *Spec) Validate() error {
+	if s.Version != 0 && s.Version != SpecVersion {
+		return fmt.Errorf("sweep: spec %q: unsupported wire format version %d (this build speaks version %d; legacy version-less specs are read as version 1)",
+			s.Name, s.Version, SpecVersion)
+	}
 	if s.Name == "" {
 		return fmt.Errorf("sweep: spec needs a name")
 	}
@@ -867,17 +895,54 @@ func (s *Spec) axis(name string) *Axis {
 	return nil
 }
 
-// Decode reads a Spec from JSON, rejecting unknown fields so typos in
-// hand-written spec files fail loudly.
+// specJSONKeys lists the valid top-level keys of the Spec wire format,
+// derived from the struct tags so the error message can never drift
+// from the type.
+func specJSONKeys() []string {
+	t := reflect.TypeOf(Spec{})
+	keys := make([]string, 0, t.NumField())
+	for i := 0; i < t.NumField(); i++ {
+		tag, _, _ := strings.Cut(t.Field(i).Tag.Get("json"), ",")
+		if tag != "" && tag != "-" {
+			keys = append(keys, tag)
+		}
+	}
+	return keys
+}
+
+// Decode reads a Spec from the versioned JSON wire format, rejecting
+// unknown fields so typos in hand-written spec files fail loudly —
+// with an error naming the valid keys, the same shape as the engine's
+// unknown-parameter errors. Legacy version-less documents decode as
+// version 1; documents from a newer format version are rejected by
+// Validate.
 func Decode(r io.Reader) (*Spec, error) {
 	dec := json.NewDecoder(r)
 	dec.DisallowUnknownFields()
 	var s Spec
 	if err := dec.Decode(&s); err != nil {
+		if field, ok := unknownFieldName(err); ok {
+			return nil, fmt.Errorf("sweep: decode spec: unknown field %s (valid keys: %s)",
+				field, strings.Join(specJSONKeys(), " "))
+		}
 		return nil, fmt.Errorf("sweep: decode spec: %w", err)
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	return &s, nil
+}
+
+// unknownFieldName extracts the offending field from an
+// encoding/json DisallowUnknownFields error. The error is unexported
+// and untyped upstream, so the text is the only handle; if its shape
+// ever changes we fall back to the raw error, never misreport.
+func unknownFieldName(err error) (string, bool) {
+	const marker = "unknown field "
+	msg := err.Error()
+	i := strings.LastIndex(msg, marker)
+	if i < 0 {
+		return "", false
+	}
+	return msg[i+len(marker):], true
 }

@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const versionedSpec = `{
+  "version": 1,
+  "name": "v1-doc",
+  "axes": [{"name": "transfer", "values": ["64"]}],
+  "base": {"bench": "lat_rd", "window": "8K"}
+}`
+
+// TestDecodeVersioned: a version-1 document decodes and round-trips
+// with its version intact.
+func TestDecodeVersioned(t *testing.T) {
+	s, err := Decode(strings.NewReader(versionedSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 1 {
+		t.Fatalf("Version = %d, want 1", s.Version)
+	}
+	blob, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(blob, []byte(`"version":1`)) {
+		t.Fatalf("re-encoded spec lost its version: %s", blob)
+	}
+	if _, err := Decode(bytes.NewReader(blob)); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+// TestDecodeLegacyVersionless: documents written before the format was
+// versioned keep decoding (as version 1).
+func TestDecodeLegacyVersionless(t *testing.T) {
+	legacy := `{"name": "legacy", "axes": [{"name": "transfer", "values": ["64"]}], "base": {"bench": "lat_rd", "window": "8K"}}`
+	s, err := Decode(strings.NewReader(legacy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version != 0 {
+		t.Fatalf("legacy doc carries version %d", s.Version)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecodeFutureVersionRejected: a document from a newer format
+// version fails loudly instead of being half-understood.
+func TestDecodeFutureVersionRejected(t *testing.T) {
+	future := strings.Replace(versionedSpec, `"version": 1`, `"version": 2`, 1)
+	_, err := Decode(strings.NewReader(future))
+	if err == nil {
+		t.Fatal("version-2 document decoded without error")
+	}
+	for _, want := range []string{"version 2", "version 1"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+}
+
+// TestDecodeUnknownFieldNamesValidKeys: the strict decoder's error
+// must name the offending field and the full set of valid keys.
+func TestDecodeUnknownFieldNamesValidKeys(t *testing.T) {
+	bad := strings.Replace(versionedSpec, `"name"`, `"nmae"`, 1)
+	_, err := Decode(strings.NewReader(bad))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"nmae", "version", "name", "axes", "base", "probes", "seed_mode", "shared_instance", "contrast", "x_axis"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not mention %q", msg, want)
+		}
+	}
+}
+
+// TestSpecJSONKeysComplete guards the reflective key list against
+// field renames losing their tag.
+func TestSpecJSONKeysComplete(t *testing.T) {
+	keys := strings.Join(specJSONKeys(), " ")
+	for _, want := range []string{"version", "name", "title", "description",
+		"x_axis", "x_label", "y_label", "axes", "base", "probes",
+		"shared_instance", "contrast", "seed_mode", "seed"} {
+		if !strings.Contains(keys, want) {
+			t.Errorf("specJSONKeys() = %q, missing %q", keys, want)
+		}
+	}
+}
