@@ -432,6 +432,82 @@ func BenchmarkTopo_Contend4(b *testing.B) {
 	b.ReportMetric(p99, "ns-p99")
 }
 
+// fabricSpec derives a partitionable contention fabric from the BDW
+// calibration: eight sockets, endpoints round-robined across them with
+// socket-local buffers, so simWorkers > 1 splits the build into eight
+// independent simulation islands.
+func fabricSpec(b *testing.B, endpoints, simWorkers int) topo.Spec {
+	b.Helper()
+	const sockets = 8
+	sys, err := sysconf.ByName("NFP6000-BDW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := sys.TopoSpec(
+		topo.Shape{Endpoints: 2, Placement: "split", LocalBuffers: true},
+		sysconf.Options{Seed: 37, BufferSize: 1 << 20, NoJitter: true},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.Mem.Nodes = sockets
+	base := spec.Sockets[0]
+	spec.Sockets = nil
+	for i := 0; i < sockets; i++ {
+		s := base
+		s.Node = i
+		spec.Sockets = append(spec.Sockets, s)
+	}
+	ep0 := spec.Endpoints[0]
+	spec.Endpoints = nil
+	for i := 0; i < endpoints; i++ {
+		ep := ep0
+		ep.Name = ""
+		ep.Socket = i % sockets
+		ep.BufferNode = i % sockets
+		spec.Endpoints = append(spec.Endpoints, ep)
+	}
+	spec.SimWorkers = simWorkers
+	return spec
+}
+
+// benchFabric builds the fabric and drives the traffic engine; serial
+// and parallel variants below differ only in the simWorkers knob, so
+// their ns/op delta is the coordinator overhead (this is a 1-core
+// host: the parallel build buys determinism headroom, not speedup).
+func benchFabric(b *testing.B, endpoints, simWorkers, pairs int) {
+	b.ReportAllocs()
+	var pps float64
+	for i := 0; i < b.N; i++ {
+		fab, err := topo.Build(fabricSpec(b, endpoints, simWorkers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := topo.RunWorkload(fab, workload.Config{Seed: 37, BufferBytes: 1 << 20}, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps = res.PPS
+	}
+	b.ReportMetric(pps/1e6, "Mpps")
+	b.ReportMetric(float64(endpoints), "endpoints")
+}
+
+// BenchmarkFabricSerial is the reference: the contention fabrics
+// simulated by the single shared event kernel.
+func BenchmarkFabricSerial(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabric(b, 8, 1, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabric(b, 64, 1, 60) })
+}
+
+// BenchmarkFabricParallel partitions the same fabrics into eight
+// islands (simworkers=4); results are byte-identical to the serial
+// runs, so the comparison isolates the partitioned-kernel overhead.
+func BenchmarkFabricParallel(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabric(b, 8, 4, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabric(b, 64, 4, 60) })
+}
+
 // BenchmarkTopo_P2P compares device-to-device DMA against the bounce
 // through host DRAM (512B transfers) and reports both medians.
 func BenchmarkTopo_P2P(b *testing.B) {

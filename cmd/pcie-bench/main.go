@@ -116,9 +116,15 @@ func run(args []string, stdout, stderr io.Writer) error {
 		endpoints = fs.Int("endpoints", 1, "topology: endpoint (NIC) count")
 		swSel     = fs.String("switch", "", "topology: shared switch uplink (none, on, or gen<G>x<L>)")
 		socketSel = fs.String("socket", "", "topology: endpoint placement (socket index or split)")
+		localBuf  = fs.Bool("local-buffers", false, "topology: home each endpoint's DMA buffer on its own socket's NUMA node")
+		noJitter  = fs.Bool("nojitter", false, "disable root-complex latency jitter")
+		simPar    = fs.Int("sim-parallel", 1, "simulation workers for partitionable multi-endpoint fabrics (1 = serial; results are byte-identical for any value)")
 		p2pMode   = fs.String("p2p", "direct", "p2p: transfer path (direct or bounce)")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sweep.ValidateSimWorkers(*simPar); err != nil {
 		return err
 	}
 
@@ -176,7 +182,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cli := &sweep.CLI{
 		List: *sweeps, RunName: *runName, SpecPath: *specPath,
 		Overrides: fs.Args(), Format: *format,
-		Workers: *parallel, Quality: q, CacheDir: *cacheDir,
+		Workers: *parallel, SimWorkers: *simPar, Quality: q, CacheDir: *cacheDir,
 	}
 	if cli.Active() {
 		return cli.Execute(context.Background(), stdout, stderr)
@@ -227,8 +233,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 		IOMMU:      *iommuOn,
 		SuperPages: *sp,
 		BufferNode: *node,
+		NoJitter:   *noJitter,
+		SimWorkers: *simPar,
 	}
-	shape := topo.Shape{Endpoints: *endpoints, Placement: *socketSel}
+	shape := topo.Shape{Endpoints: *endpoints, Placement: *socketSel, LocalBuffers: *localBuf}
 	if *swSel != "" {
 		shape.Switch, err = topo.ParseSwitch(*swSel)
 		if err != nil {
@@ -236,10 +244,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	if !shape.Degenerate() && *benchSel != "workload" && *benchSel != "p2p" {
-		return fmt.Errorf("topology flags (-endpoints/-switch/-socket) apply to -bench workload or -bench p2p")
+		return fmt.Errorf("topology flags (-endpoints/-switch/-socket/-local-buffers) apply to -bench workload or -bench p2p")
 	}
 
 	if *benchSel == "p2p" {
+		// Peer-to-peer traffic crosses simulation domains, so p2p always
+		// builds serially (matching the sweep engine's policy).
+		opts.SimWorkers = 1
 		endpointsSet := false
 		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "endpoints" {

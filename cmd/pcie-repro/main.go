@@ -56,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		full     = fs.Bool("full", false, "paper-scale sample counts (slower)")
 		only     = fs.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
 		parallel = fs.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS); output is identical for any value")
+		simPar   = fs.Int("sim-parallel", 1, "simulation workers for partitionable multi-endpoint fabric cells (1 = serial; output is identical for any value)")
 		list     = fs.Bool("list", false, "list registered sweeps and exit")
 		runName  = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
 		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
@@ -63,6 +64,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		cacheDir = fs.String("cache-dir", "", "dedup sweep cells against an on-disk result cache in this directory")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := sweep.ValidateSimWorkers(*simPar); err != nil {
 		return err
 	}
 
@@ -75,7 +79,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	cli := &sweep.CLI{
 		List: *list, RunName: *runName, SpecPath: *specPath,
 		Overrides: fs.Args(), Format: *format,
-		Workers: *parallel, Quality: q, CacheDir: *cacheDir,
+		Workers: *parallel, SimWorkers: *simPar, Quality: q, CacheDir: *cacheDir,
 	}
 	if cli.Active() {
 		return cli.Execute(context.Background(), stdout, stderr)

@@ -29,6 +29,17 @@
 // transaction's full timeline is computed in one pass; the event kernel
 // only sequences the *control* decisions (a DMA engine issuing its next
 // descriptor) in the device layer above.
+//
+// # Partitioned fabrics
+//
+// The conservative-parallel topology layer (internal/topo) builds one
+// RootComplex per independent endpoint island, each bound to its own
+// event kernel; the islands share only the read-only address layout
+// and per-node memory state no two islands both touch. The handoff
+// points between domains are therefore explicit: every foreign BAR
+// window is mirrored into each router (MirrorBAR) so peer-to-peer DMA
+// that would cross domains is detected at the routing boundary and
+// rejected rather than silently mistimed.
 package rc
 
 import (

@@ -172,6 +172,18 @@ func TestSubmitPollFetch(t *testing.T) {
 	if !bytes.Contains(bad, []byte("unknown format")) {
 		t.Errorf("bad-format error: %s", bad)
 	}
+
+	// A parallel-simulation submission serves the same bytes — and,
+	// because simworkers is not part of the cache key, entirely from the
+	// cache the serial run populated.
+	par := submit(t, ts, testSpec, "?simworkers=4")
+	pst := waitState(t, ts, par.ID, StateDone)
+	if pst.CacheHits != 4 || pst.Executed != 0 {
+		t.Fatalf("simworkers=4 resubmission did not hit the shared cache: %+v", pst)
+	}
+	if got := string(fetch(t, ts, "/v1/sweeps/"+par.ID+"/results?format=tsv", http.StatusOK)); got != served {
+		t.Error("simworkers=4 served different bytes than the serial job")
+	}
 }
 
 // TestStreamNDJSON reads the incremental stream: every cell row in
@@ -396,6 +408,13 @@ func TestErrorResponses(t *testing.T) {
 	}
 	if code, body := post(testSpec, "?workers=-1"); code != http.StatusBadRequest {
 		t.Errorf("bad workers: %d %s", code, body)
+	}
+	// Out-of-range or non-numeric simworkers is rejected with the valid
+	// range in the message.
+	for _, bad := range []string{"0", "-3", "65", "many"} {
+		if code, body := post(testSpec, "?simworkers="+bad); code != http.StatusBadRequest || !strings.Contains(body, "[1, 64]") {
+			t.Errorf("simworkers=%s: %d %s (want 400 naming [1, 64])", bad, code, body)
+		}
 	}
 
 	fetch(t, ts, "/v1/sweeps/sw-999", http.StatusNotFound)

@@ -1,0 +1,227 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// maxTime is the largest representable simulated time, used as the
+// window horizon when no cross-domain link bounds execution.
+const maxTime = Time(math.MaxInt64)
+
+// Domain is one partition of a parallel simulation: an independent
+// Kernel (own heap, clock, sequence counter and random source) plus its
+// index in the ParallelKernel that coordinates it.
+type Domain struct {
+	ID     int
+	Kernel *Kernel
+}
+
+// pmsg is one staged cross-domain event.
+type pmsg struct {
+	at   Time
+	a, b int64
+	h    Handler
+}
+
+// plink is a directed (src,dst) channel between two domains. Messages
+// staged on it during a window are delivered into dst's kernel at the
+// window barrier, in staging order — so delivery order is a pure
+// function of the simulation, never of goroutine scheduling.
+type plink struct {
+	src, dst int
+	latency  Time
+	buf      []pmsg
+}
+
+// ParallelKernel runs several Kernels as one conservative
+// parallel-discrete-event simulation. Domains execute concurrently in
+// time windows: the coordinator computes the global lower bound (the
+// minimum next-event time across domains), and every domain safely
+// executes all events strictly below bound+lookahead, where lookahead
+// is the minimum latency of any cross-domain link — no message sent
+// during the window can arrive below that horizon. At the window
+// barrier, staged messages are drained link by link in creation order
+// and delivered into the destination kernels, so sequence numbers —
+// and therefore (time,seq) tie-breaks — are identical at any worker
+// count.
+//
+// Domains with no links at all (the island-partitioned fabric case)
+// free-run to completion in a single window.
+//
+// A ParallelKernel is not safe for concurrent use by multiple
+// callers; Send may only be called from a handler executing on the
+// sending domain's kernel during Run.
+type ParallelKernel struct {
+	domains   []*Kernel
+	links     []plink
+	linkIdx   map[[2]int]int
+	lookahead Time // min link latency; maxTime when no links
+}
+
+// NewParallel builds a coordinator over the given kernels; kernels[i]
+// becomes domain i. The kernels must not be shared between domains.
+func NewParallel(kernels []*Kernel) *ParallelKernel {
+	if len(kernels) == 0 {
+		panic("sim: NewParallel needs at least one domain")
+	}
+	return &ParallelKernel{
+		domains:   kernels,
+		linkIdx:   make(map[[2]int]int),
+		lookahead: maxTime,
+	}
+}
+
+// Domains returns the number of domains.
+func (p *ParallelKernel) Domains() int { return len(p.domains) }
+
+// Domain returns domain i.
+func (p *ParallelKernel) Domain(i int) Domain { return Domain{ID: i, Kernel: p.domains[i]} }
+
+// Lookahead returns the conservative window width: the minimum latency
+// over all links, or the maximum time when no links exist.
+func (p *ParallelKernel) Lookahead() Time { return p.lookahead }
+
+// Connect declares a directed communication channel from domain src to
+// domain dst with the given minimum propagation latency (>= 1 ps; the
+// link/switch wire and forwarding delays of a PCIe fabric). Every
+// cross-domain event must flow through a declared link via Send.
+// Declaring a link shrinks the lookahead to the smallest latency.
+func (p *ParallelKernel) Connect(src, dst int, latency Time) {
+	if src < 0 || src >= len(p.domains) || dst < 0 || dst >= len(p.domains) {
+		panic(fmt.Sprintf("sim: link %d->%d outside %d domains", src, dst, len(p.domains)))
+	}
+	if src == dst {
+		panic("sim: a domain needs no link to itself")
+	}
+	if latency < Picosecond {
+		panic(fmt.Sprintf("sim: link %d->%d latency %v must be >= 1ps", src, dst, latency))
+	}
+	key := [2]int{src, dst}
+	if _, dup := p.linkIdx[key]; dup {
+		panic(fmt.Sprintf("sim: link %d->%d already declared", src, dst))
+	}
+	p.linkIdx[key] = len(p.links)
+	p.links = append(p.links, plink{src: src, dst: dst, latency: latency})
+	if latency < p.lookahead {
+		p.lookahead = latency
+	}
+}
+
+// Send stages h.Handle(dstKernel, a, b) at absolute time at in domain
+// dst, from a handler currently executing on domain src. The
+// destination sees it after the current window's barrier. at must
+// respect the link's declared latency (at >= src.Now()+latency);
+// violating it would break the conservative horizon and panics.
+func (p *ParallelKernel) Send(src, dst int, at Time, h Handler, a, b int64) {
+	idx, ok := p.linkIdx[[2]int{src, dst}]
+	if !ok {
+		panic(fmt.Sprintf("sim: send on undeclared link %d->%d", src, dst))
+	}
+	l := &p.links[idx]
+	if min := p.domains[src].now + l.latency; at < min {
+		panic(fmt.Sprintf("sim: send on link %d->%d at %v violates latency %v (now %v)",
+			src, dst, at, l.latency, p.domains[src].now))
+	}
+	l.buf = append(l.buf, pmsg{at: at, a: a, b: b, h: h})
+}
+
+// minNext returns the global lower bound on the next event time across
+// all domains, or false when every queue is empty.
+func (p *ParallelKernel) minNext() (Time, bool) {
+	bound := maxTime
+	any := false
+	for _, k := range p.domains {
+		if t, ok := k.NextEventTime(); ok {
+			any = true
+			if t < bound {
+				bound = t
+			}
+		}
+	}
+	return bound, any
+}
+
+// drain delivers every staged message into its destination kernel, link
+// by link in creation order and in staging order within a link. The
+// coordinator calls it single-threaded at the window barrier, so
+// destination sequence numbers are deterministic. Reports whether any
+// message was delivered.
+func (p *ParallelKernel) drain() bool {
+	delivered := false
+	for i := range p.links {
+		l := &p.links[i]
+		if len(l.buf) == 0 {
+			continue
+		}
+		dst := p.domains[l.dst]
+		for _, m := range l.buf {
+			dst.AtEvent(m.at, m.h, m.a, m.b)
+		}
+		l.buf = l.buf[:0]
+		delivered = true
+	}
+	return delivered
+}
+
+// runWindow executes every domain up to (but excluding) horizon, on up
+// to workers goroutines. A horizon of maxTime runs each domain to
+// completion (the no-links fast path).
+func (p *ParallelKernel) runWindow(horizon Time, workers int) {
+	run := func(k *Kernel) {
+		if horizon == maxTime {
+			k.Run()
+		} else {
+			k.RunBefore(horizon)
+		}
+	}
+	if workers <= 1 || len(p.domains) == 1 {
+		for _, k := range p.domains {
+			run(k)
+		}
+		return
+	}
+	if workers > len(p.domains) {
+		workers = len(p.domains)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			// Static round-robin assignment: which goroutine runs a
+			// domain never affects results, only wall-clock balance.
+			for i := w; i < len(p.domains); i += workers {
+				run(p.domains[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes the parallel simulation to completion on up to workers
+// goroutines (<= 1 runs the window loop single-threaded, which is the
+// reference schedule — results are byte-identical for every worker
+// count). It returns the latest domain clock.
+func (p *ParallelKernel) Run(workers int) Time {
+	for {
+		bound, ok := p.minNext()
+		if !ok {
+			break
+		}
+		horizon := maxTime
+		if p.lookahead < maxTime-bound {
+			horizon = bound + p.lookahead
+		}
+		p.runWindow(horizon, workers)
+		p.drain()
+	}
+	end := Time(0)
+	for _, k := range p.domains {
+		if k.now > end {
+			end = k.now
+		}
+	}
+	return end
+}

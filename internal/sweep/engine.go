@@ -28,6 +28,12 @@ type Engine struct {
 	// Workers is the runner pool size for cache misses; <= 0 selects
 	// GOMAXPROCS. Results are byte-identical for every value.
 	Workers int
+	// SimWorkers is the conservative-parallel simulation budget for
+	// multi-endpoint workload fabric cells; <= 1 simulates serially.
+	// Results are byte-identical for every value, which is why — unlike
+	// Quality — SimWorkers is deliberately NOT part of the cache key: a
+	// cell computed at any worker count serves requests at every other.
+	SimWorkers int
 	// Quality resolves transaction counts left at zero; it is part of
 	// the cache key (quick and full results never alias).
 	Quality Quality
@@ -179,7 +185,7 @@ func (e *Engine) Run(ctx context.Context, s *Spec) (*Result, Stats, error) {
 
 	_, err := runner.Map(ctx, misses, runner.Options{Workers: e.Workers},
 		func(_ context.Context, _ int, m miss) (struct{}, error) {
-			res, err := s.runCell(m.cell, e.Quality)
+			res, err := s.runCell(m.cell, e.Quality, e.SimWorkers)
 			if err != nil {
 				return struct{}{}, err
 			}
@@ -241,7 +247,7 @@ func (st *streamState) flushLocked() {
 // wrapper over the Engine. Cells are independent units, so results are
 // collected in enumeration order and identical at any worker count.
 func (s *Spec) Run(ctx context.Context, opt RunOptions) (*Result, error) {
-	e := &Engine{Workers: opt.Workers, Quality: opt.Quality, Progress: opt.Progress}
+	e := &Engine{Workers: opt.Workers, SimWorkers: opt.SimWorkers, Quality: opt.Quality, Progress: opt.Progress}
 	res, _, err := e.Run(ctx, s)
 	return res, err
 }

@@ -105,11 +105,30 @@ type RunOptions struct {
 	// Workers is the runner pool size; <= 0 selects GOMAXPROCS. The
 	// result is byte-identical for every value.
 	Workers int
+	// SimWorkers is the per-cell conservative-parallel simulation
+	// budget for multi-endpoint workload fabrics; <= 1 (the default)
+	// simulates serially. Like Workers, results are byte-identical for
+	// every value.
+	SimWorkers int
 	// Quality resolves transaction counts left at zero.
 	Quality Quality
 	// Progress, when non-nil, receives (done, total) as cells become
 	// available in enumeration order; calls are serialized.
 	Progress func(done, total int)
+}
+
+// MaxSimWorkers bounds the per-simulation parallelism the run surfaces
+// (CLI flags, the service's ?simworkers=) accept; islands are capped
+// by the 64-endpoint shape limit, so more workers than that can never
+// help.
+const MaxSimWorkers = 64
+
+// ValidateSimWorkers checks a user-supplied simulation worker count.
+func ValidateSimWorkers(n int) error {
+	if n < 1 || n > MaxSimWorkers {
+		return fmt.Errorf("sweep: simworkers %d outside the valid range [1, %d]", n, MaxSimWorkers)
+	}
+	return nil
 }
 
 // cellSeed resolves the seed a cell builds its instances from.
@@ -129,7 +148,7 @@ func (s *Spec) cellSeed(cfg *Config, index int) {
 }
 
 // runCell measures every probe of one cell.
-func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
+func (s *Spec) runCell(c Cell, q Quality, simWorkers int) (CellResult, error) {
 	res := CellResult{Cell: c}
 	var shared *sysconf.Instance
 	if s.SharedInstance {
@@ -167,7 +186,7 @@ func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
 		if memoable && memo != nil {
 			m = *memo
 		} else {
-			m, err = measure(cfg, shared, wantCDF)
+			m, err = measure(cfg, shared, wantCDF, simWorkers)
 			if err != nil {
 				return res, fmt.Errorf("sweep: %s cell %d probe %d: %w", s.Name, c.Index, pi, err)
 			}
@@ -190,7 +209,7 @@ func (s *Spec) runCell(c Cell, q Quality) (CellResult, error) {
 				if pcfg.Params.Transactions == 0 {
 					pcfg.Params.Transactions = q.Transactions(pcfg.Bench, metric)
 				}
-				pm, err = measure(pcfg, nil, wantCDF)
+				pm, err = measure(pcfg, nil, wantCDF, simWorkers)
 				if err != nil {
 					return res, fmt.Errorf("sweep: %s cell %d probe %d contrast: %w", s.Name, c.Index, pi, err)
 				}
@@ -225,9 +244,9 @@ func buildInstance(cfg Config) (*sysconf.Instance, error) {
 // measure runs one benchmark. A non-nil shared instance is reused
 // (probe order is then the simulation order); otherwise the probe
 // builds its own fresh instance, like the paper's per-point runs.
-func measure(cfg Config, shared *sysconf.Instance, wantCDF bool) (Measurement, error) {
+func measure(cfg Config, shared *sysconf.Instance, wantCDF bool, simWorkers int) (Measurement, error) {
 	if shared == nil && cfg.usesFabric() {
-		return measureFabric(cfg)
+		return measureFabric(cfg, simWorkers)
 	}
 	inst := shared
 	if inst == nil {
@@ -309,10 +328,16 @@ func measureWorkload(inst *sysconf.Instance, cfg Config) (Measurement, error) {
 
 // measureFabric runs the cell on a multi-endpoint fabric: the p2p
 // transfer benchmark, or the traffic engine on every endpoint at once.
-func measureFabric(cfg Config) (Measurement, error) {
+// simWorkers > 1 asks the workload path for a conservative-parallel
+// fabric (results stay byte-identical; see internal/topo); the p2p
+// benchmark couples its endpoints and always builds serially.
+func measureFabric(cfg Config, simWorkers int) (Measurement, error) {
 	sys, err := sysconf.ByName(cfg.System)
 	if err != nil {
 		return Measurement{}, err
+	}
+	if cfg.Bench != BenchP2P && simWorkers > 1 {
+		cfg.Opt.SimWorkers = simWorkers
 	}
 	fab, err := sys.Fabric(cfg.Shape, cfg.Opt)
 	if err != nil {

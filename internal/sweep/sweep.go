@@ -335,7 +335,7 @@ var (
 	}
 	// topoKeys select the PCIe topology; valid for the workload and
 	// p2p kinds.
-	topoKeys = []string{"endpoints", "socket", "switch"}
+	topoKeys = []string{"buffers", "endpoints", "socket", "switch"}
 	// p2pKeys apply only to the p2p kind.
 	p2pKeys = []string{"p2p", "transfer"}
 )
@@ -406,6 +406,7 @@ var optLevelKeys = map[string]bool{
 	"iommu": true, "sp": true, "nojitter": true,
 	"gen": true, "lanes": true, "mps": true, "mrrs": true,
 	"endpoints": true, "switch": true, "socket": true, "p2p": true,
+	"buffers": true,
 }
 
 // resolveConfig turns a merged key/value assignment into an executable
@@ -545,6 +546,15 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			cfg.Shape.Switch, err = topo.ParseSwitch(v)
 		case "socket":
 			cfg.Shape.Placement = strings.ToLower(strings.TrimSpace(v))
+		case "buffers":
+			switch strings.ToLower(strings.TrimSpace(v)) {
+			case "", "shared", "default":
+				cfg.Shape.LocalBuffers = false
+			case "local":
+				cfg.Shape.LocalBuffers = true
+			default:
+				err = fmt.Errorf("buffer placement %q (want shared or local)", v)
+			}
 		case "p2p":
 			switch strings.ToLower(v) {
 			case topo.P2PDirect, topo.P2PBounce:
@@ -594,7 +604,7 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			return Config{}, fmt.Errorf("sweep: p2p=%q only applies to bench=p2p (valid p2p keys: %s)", cfg.P2P, strings.Join(keysFor(BenchP2P), " "))
 		}
 		if !cfg.Shape.Degenerate() && cfg.Bench != BenchWorkload {
-			return Config{}, fmt.Errorf("sweep: topology keys (endpoints/switch/socket) apply to bench=workload or bench=p2p, not %q", cfg.Bench)
+			return Config{}, fmt.Errorf("sweep: topology keys (buffers/endpoints/switch/socket) apply to bench=workload or bench=p2p, not %q", cfg.Bench)
 		}
 	}
 	if err := cfg.Shape.Validate(sys.Nodes); err != nil {

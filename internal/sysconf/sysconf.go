@@ -196,6 +196,11 @@ type Options struct {
 	// the paper's setup). Used by the Gen4 projection experiments the
 	// paper's §6 anticipates.
 	Link *pcie.LinkConfig
+	// SimWorkers asks for a conservative-parallel fabric on up to this
+	// many worker goroutines (<= 1 builds serially). Results are
+	// byte-identical at every value; parallelism only materializes when
+	// the topology splits into independent endpoint islands.
+	SimWorkers int
 }
 
 // Instance is an assembled system ready to run benchmarks. It is the
@@ -271,8 +276,9 @@ func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
 		return topo.Spec{}, fmt.Errorf("sysconf: %s: %w", s.Name, err)
 	}
 	spec := topo.Spec{
-		Seed: opt.Seed,
-		Mem:  s.memConfig(),
+		Seed:       opt.Seed,
+		Mem:        s.memConfig(),
+		SimWorkers: opt.SimWorkers,
 	}
 	if opt.IOMMU {
 		cfg := iommu.DefaultConfig()
@@ -329,6 +335,17 @@ func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
 		if s.Adapter == NetFPGASUME {
 			adapter = "netfpga"
 		}
+		bufNode := opt.BufferNode
+		if shape.LocalBuffers {
+			// Sockets are materialized with Node == index, so the
+			// endpoint's attach socket names its home node directly. A
+			// switched endpoint ingresses at the switch's socket, which
+			// SocketOf already resolves.
+			bufNode = shape.SocketOf(i, sockets)
+			if swIndex != topo.DirectAttach {
+				bufNode = spec.Switches[swIndex].Socket
+			}
+		}
 		ep := topo.EndpointSpec{
 			Name:        fmt.Sprintf("%s-ep%d", adapter, i),
 			Device:      devCfg,
@@ -337,7 +354,7 @@ func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
 			Switch:      swIndex,
 			Socket:      shape.SocketOf(i, sockets),
 			BufferBytes: size,
-			BufferNode:  opt.BufferNode,
+			BufferNode:  bufNode,
 			AllocMode:   mode,
 			MapPage:     mapPage,
 		}

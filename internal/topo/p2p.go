@@ -66,6 +66,11 @@ func RunP2P(f *Fabric, mode string, transfer, n int) (*P2PResult, error) {
 	if mode != P2PDirect && mode != P2PBounce {
 		return nil, fmt.Errorf("topo: p2p mode %q (want %s or %s)", mode, P2PDirect, P2PBounce)
 	}
+	if f.Parallel() {
+		// Peer traffic couples the endpoints' timelines; the partitioned
+		// fabric's islands are built on the premise that they never meet.
+		return nil, fmt.Errorf("topo: p2p requires a serial fabric; rebuild with simworkers=1 (fabric has %d islands)", len(f.Kernels))
+	}
 	src, dst := f.Endpoints[0], f.Endpoints[1]
 	stride := p2pStride(transfer)
 	// Window of addresses the transfers rotate over: bounded by the

@@ -1,0 +1,130 @@
+package topo
+
+// This file computes the conservative-parallel partition of a Spec:
+// which endpoints can run on independent event kernels with results
+// byte-identical to the single-kernel build.
+//
+// Two endpoints must share a kernel whenever their simulated traffic
+// can meet on mutable simulation state:
+//
+//   - the same switch (shared uplink arbitration and credit pools),
+//   - the same socket (shared root-complex pipeline slots; a switched
+//     endpoint ingresses at its switch's socket),
+//   - the same buffer NUMA node (shared LLC occupancy in mem.System —
+//     AccessFrom touches only the home node's state),
+//   - the shared inter-socket bus, when the spec models one: every
+//     endpoint whose buffer is remote to its ingress socket queues on
+//     the one xbus resource, so all such endpoints couple.
+//
+// Two spec features serialize the whole fabric:
+//
+//   - an IOMMU: one translation cache and walker pool on every DMA
+//     path, and
+//   - root-complex jitter on any socket an endpoint uses: jitter draws
+//     from the kernel's random source in global event order, which has
+//     no island-local equivalent.
+//
+// Peer-to-peer BAR traffic cannot be seen statically; it is guarded at
+// run time instead (rc rejects DMA that would cross domains).
+
+// unionFind is a plain union-find over endpoint indices.
+type unionFind []int
+
+func newUnionFind(n int) unionFind {
+	u := make(unionFind, n)
+	for i := range u {
+		u[i] = i
+	}
+	return u
+}
+
+func (u unionFind) find(i int) int {
+	for u[i] != i {
+		u[i] = u[u[i]]
+		i = u[i]
+	}
+	return i
+}
+
+func (u unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra != rb {
+		u[rb] = ra
+	}
+}
+
+// socketOf returns the socket index endpoint i's traffic ingresses at:
+// its own for direct attachment, its switch's otherwise.
+func (s Spec) socketOf(i int) int {
+	ep := s.Endpoints[i]
+	if ep.Switch == DirectAttach {
+		return ep.Socket
+	}
+	return s.Switches[ep.Switch].Socket
+}
+
+// islandsOf partitions the spec's endpoints into simulation islands:
+// groups whose traffic never meets, listed in first-endpoint order with
+// each group's endpoints in ascending order. A single returned island
+// means the spec cannot be parallelized and must build serially.
+func islandsOf(spec Spec) [][]int {
+	n := len(spec.Endpoints)
+	all := func() [][]int {
+		one := make([]int, n)
+		for i := range one {
+			one[i] = i
+		}
+		return [][]int{one}
+	}
+	if spec.IOMMU != nil {
+		return all()
+	}
+	for i := range spec.Endpoints {
+		if spec.Sockets[spec.socketOf(i)].Jitter != nil {
+			return all()
+		}
+	}
+
+	u := newUnionFind(n)
+	bySwitch := map[int]int{}
+	bySocket := map[int]int{}
+	byNode := map[int]int{}
+	xbusFirst := -1
+	couple := func(m map[int]int, key, i int) {
+		if first, ok := m[key]; ok {
+			u.union(first, i)
+		} else {
+			m[key] = i
+		}
+	}
+	for i, ep := range spec.Endpoints {
+		if ep.Switch != DirectAttach {
+			couple(bySwitch, ep.Switch, i)
+		}
+		sock := spec.socketOf(i)
+		couple(bySocket, sock, i)
+		couple(byNode, ep.BufferNode, i)
+		if spec.Interconnect != nil && spec.Interconnect.Shared &&
+			ep.BufferNode != spec.Sockets[sock].Node {
+			if xbusFirst >= 0 {
+				u.union(xbusFirst, i)
+			} else {
+				xbusFirst = i
+			}
+		}
+	}
+
+	var islands [][]int
+	idx := map[int]int{}
+	for i := 0; i < n; i++ {
+		r := u.find(i)
+		d, ok := idx[r]
+		if !ok {
+			d = len(islands)
+			idx[r] = d
+			islands = append(islands, nil)
+		}
+		islands[d] = append(islands[d], i)
+	}
+	return islands
+}

@@ -26,12 +26,20 @@ type Shape struct {
 	// round-robins endpoints across the system's sockets (requires a
 	// multi-node system and no switch).
 	Placement string
+	// LocalBuffers homes each endpoint's DMA buffer on its own
+	// socket's NUMA node instead of one shared node (overriding any
+	// explicit buffer-node option). Besides modeling the NUMA-aware
+	// driver layout, this decouples the endpoints' memory state, which
+	// lets a split-socket fabric partition into parallel simulation
+	// islands.
+	LocalBuffers bool
 }
 
 // Degenerate reports whether the shape is the paper's single-device
 // form, which must build byte-identically to the pre-topology code.
 func (sh Shape) Degenerate() bool {
-	return sh.Endpoints <= 1 && sh.Switch == nil && (sh.Placement == "" || sh.Placement == "0")
+	return sh.Endpoints <= 1 && sh.Switch == nil && (sh.Placement == "" || sh.Placement == "0") &&
+		!sh.LocalBuffers
 }
 
 // Count returns the endpoint count with the default applied.

@@ -112,6 +112,12 @@ type Spec struct {
 	Sockets      []SocketSpec
 	Switches     []SwitchSpec
 	Endpoints    []EndpointSpec
+	// SimWorkers asks Build for a conservative-parallel fabric on up
+	// to this many worker goroutines (<= 1, the default, builds the
+	// serial single-kernel form). Parallelism only materializes when
+	// the partitioner finds more than one independent endpoint island;
+	// results are byte-identical either way.
+	SimWorkers int
 }
 
 // Validate reports structural errors: missing pieces and out-of-range
@@ -157,8 +163,10 @@ type Endpoint struct {
 }
 
 // Fabric is an assembled topology, ready to run benchmarks and
-// workloads on every endpoint concurrently (they share the kernel, so
-// their traffic contends for the shared resources).
+// workloads on every endpoint concurrently. On a serial build every
+// endpoint shares Kernel and RC; on a partitioned build (SimWorkers >
+// 1 and more than one independent island) each island owns a kernel
+// and router of its own, and Kernel/RC alias island 0's.
 type Fabric struct {
 	Spec      Spec
 	Kernel    *sim.Kernel
@@ -168,7 +176,34 @@ type Fabric struct {
 	RC        *rc.RootComplex
 	Switches  []*rc.Switch
 	Endpoints []*Endpoint
+
+	// Kernels holds one kernel per simulation island (Kernels[0] ==
+	// Kernel); Islands lists each island's endpoint indices in
+	// ascending order; Routers holds each island's root complex
+	// (Routers[0] == RC).
+	Kernels []*sim.Kernel
+	Islands [][]int
+	Routers []*rc.RootComplex
+
+	epKernel []*sim.Kernel // per-endpoint island kernel
 }
+
+// Parallel reports whether the fabric was partitioned into more than
+// one simulation island.
+func (f *Fabric) Parallel() bool { return len(f.Kernels) > 1 }
+
+// SimWorkers returns the worker-goroutine budget workloads should run
+// the fabric's islands on (always >= 1).
+func (f *Fabric) SimWorkers() int {
+	if f.Spec.SimWorkers > 1 {
+		return f.Spec.SimWorkers
+	}
+	return 1
+}
+
+// EndpointKernel returns the kernel endpoint i's island runs on (the
+// shared kernel on a serial build).
+func (f *Fabric) EndpointKernel(i int) *sim.Kernel { return f.epKernel[i] }
 
 // barBase is where Build places auto-assigned BAR windows: far above
 // both the hostif physical-address layout and its IOVA range, so
@@ -179,13 +214,60 @@ const barBase = uint64(1) << 45
 // any plausible device memory size).
 const barStride = uint64(8) << 30
 
+// addEndpoint assembles endpoint i of the spec on the given router and
+// kernel and appends it to the fabric: port, optional BAR window (its
+// bus address derives from the global endpoint index, so partitioned
+// and serial builds lay out identical address maps), DMA engine and
+// host buffer.
+func addEndpoint(f *Fabric, router *rc.RootComplex, k *sim.Kernel, i int, es EndpointSpec, sock *rc.Socket, sw *rc.Switch) error {
+	port, err := router.AddPort(rc.PortConfig{Link: es.Link, WireDelay: es.WireDelay}, sock, sw)
+	if err != nil {
+		return fmt.Errorf("topo: endpoint %d: %w", i, err)
+	}
+	if es.BAR != nil {
+		if err := port.SetBAR(rc.BARConfig{
+			Base: barBase + uint64(i)*barStride, Size: es.BAR.Size,
+			ReadLatency: es.BAR.ReadLatency, WriteLatency: es.BAR.WriteLatency,
+			PSPerByte: es.BAR.PSPerByte,
+		}); err != nil {
+			return fmt.Errorf("topo: endpoint %d: %w", i, err)
+		}
+	}
+	eng, err := device.New(k, port, es.Device)
+	if err != nil {
+		return fmt.Errorf("topo: endpoint %d: %w", i, err)
+	}
+	buf, err := f.Host.Alloc(es.BufferBytes, es.BufferNode, es.AllocMode, es.MapPage)
+	if err != nil {
+		return fmt.Errorf("topo: endpoint %d: %w", i, err)
+	}
+	name := es.Name
+	if name == "" {
+		name = fmt.Sprintf("ep%d", i)
+	}
+	f.Endpoints = append(f.Endpoints, &Endpoint{Name: name, Port: port, Engine: eng, Buffer: buf})
+	f.epKernel = append(f.epKernel, k)
+	return nil
+}
+
 // Build assembles the fabric. Construction mirrors the original
 // single-device assembly exactly for degenerate specs (one socket, one
 // directly attached endpoint): same component order, no randomness
 // consumed, so results are byte-identical to the pre-topology code.
+//
+// With SimWorkers > 1 the endpoints are partitioned into independent
+// islands (see islandsOf); when more than one exists, each island gets
+// its own kernel and router so workloads can run them concurrently.
+// Specs whose endpoints all couple — and every spec with an IOMMU or
+// root-complex jitter — fall back to the serial single-kernel build.
 func Build(spec Spec) (*Fabric, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
+	}
+	if spec.SimWorkers > 1 {
+		if islands := islandsOf(spec); len(islands) > 1 {
+			return buildPartitioned(spec, islands)
+		}
 	}
 	seed := spec.Seed
 	if seed == 0 {
@@ -231,6 +313,7 @@ func Build(spec Spec) (*Fabric, error) {
 	f := &Fabric{
 		Spec: spec, Kernel: k, Mem: ms, IOMMU: mmu, Host: host,
 		RC: router, Switches: switches,
+		Kernels: []*sim.Kernel{k}, Routers: []*rc.RootComplex{router},
 	}
 	for i, es := range spec.Endpoints {
 		var sw *rc.Switch
@@ -240,32 +323,116 @@ func Build(spec Spec) (*Fabric, error) {
 		} else {
 			sw = switches[es.Switch]
 		}
-		port, err := router.AddPort(rc.PortConfig{Link: es.Link, WireDelay: es.WireDelay}, sock, sw)
-		if err != nil {
-			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
+		if err := addEndpoint(f, router, k, i, es, sock, sw); err != nil {
+			return nil, err
 		}
-		if es.BAR != nil {
-			if err := port.SetBAR(rc.BARConfig{
-				Base: barBase + uint64(i)*barStride, Size: es.BAR.Size,
-				ReadLatency: es.BAR.ReadLatency, WriteLatency: es.BAR.WriteLatency,
-				PSPerByte: es.BAR.PSPerByte,
-			}); err != nil {
+	}
+	all := make([]int, len(spec.Endpoints))
+	for i := range all {
+		all[i] = i
+	}
+	f.Islands = [][]int{all}
+	return f, nil
+}
+
+// buildPartitioned assembles a fabric whose endpoint islands each own
+// an event kernel and a root complex. The shared pieces — the memory
+// system (islands touch disjoint NUMA-node state by construction) and
+// the host buffer allocator (read-only after Build) — are built once;
+// sockets, switches and endpoints are created in spec order on their
+// island's router, and host buffers are allocated in global endpoint
+// order, so the address layout matches the serial build byte for byte.
+func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
+	seed := spec.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	ms, err := mem.NewSystem(spec.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("topo: %w", err)
+	}
+	// islandsOf serializes IOMMU specs, so no translation state exists
+	// to share here.
+	host := hostif.New(ms, nil)
+
+	kernels := make([]*sim.Kernel, len(islands))
+	routers := make([]*rc.RootComplex, len(islands))
+	for d := range islands {
+		// Islands consume no kernel randomness (jitter forces a serial
+		// build), so seeding every island alike is safe and keeps the
+		// spec's single-seed contract.
+		kernels[d] = sim.New(seed)
+		routers[d] = rc.NewRouter(kernels[d], ms, nil, host)
+		if spec.Interconnect != nil {
+			routers[d].SetInterconnect(*spec.Interconnect)
+		}
+	}
+	epIsle := make([]int, len(spec.Endpoints))
+	for d, isl := range islands {
+		for _, i := range isl {
+			epIsle[i] = d
+		}
+	}
+	// A socket is shared only within one island (that is what the
+	// partitioner guarantees); unused sockets build on island 0.
+	sockIsle := make([]int, len(spec.Sockets))
+	for i := range spec.Endpoints {
+		sockIsle[spec.socketOf(i)] = epIsle[i]
+	}
+
+	sockets := make([]*rc.Socket, len(spec.Sockets))
+	for i, sc := range spec.Sockets {
+		sockets[i], err = routers[sockIsle[i]].AddSocket(rc.SocketConfig{
+			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots, Jitter: sc.Jitter,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
+		}
+	}
+	switches := make([]*rc.Switch, len(spec.Switches))
+	for i, sw := range spec.Switches {
+		switches[i], err = routers[sockIsle[sw.Socket]].AddSwitch(rc.SwitchConfig{
+			Uplink: sw.Uplink, WireDelay: sw.WireDelay,
+			ForwardLatency: sw.ForwardLatency, DrainLatency: sw.DrainLatency,
+			UpCredits: sw.UpCredits, DownCredits: sw.DownCredits,
+		}, sockets[sw.Socket])
+		if err != nil {
+			return nil, fmt.Errorf("topo: switch %d: %w", i, err)
+		}
+	}
+
+	f := &Fabric{
+		Spec: spec, Kernel: kernels[0], Mem: ms, Host: host,
+		RC: routers[0], Switches: switches,
+		Kernels: kernels, Islands: islands, Routers: routers,
+	}
+	for i, es := range spec.Endpoints {
+		var sw *rc.Switch
+		var sock *rc.Socket
+		if es.Switch == DirectAttach {
+			sock = sockets[es.Socket]
+		} else {
+			sw = switches[es.Switch]
+		}
+		if err := addEndpoint(f, routers[epIsle[i]], kernels[epIsle[i]], i, es, sock, sw); err != nil {
+			return nil, err
+		}
+	}
+	// Mirror every BAR window into the routers of the other islands so
+	// peer DMA that would cross domains is detected and rejected at the
+	// routing boundary instead of silently treated as host memory.
+	for i, ep := range f.Endpoints {
+		if ep.Port.BAR() == nil {
+			continue
+		}
+		for d, r := range routers {
+			if d == epIsle[i] {
+				continue
+			}
+			if err := r.MirrorBAR(ep.Port); err != nil {
 				return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
 			}
 		}
-		eng, err := device.New(k, port, es.Device)
-		if err != nil {
-			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
-		}
-		buf, err := host.Alloc(es.BufferBytes, es.BufferNode, es.AllocMode, es.MapPage)
-		if err != nil {
-			return nil, fmt.Errorf("topo: endpoint %d: %w", i, err)
-		}
-		name := es.Name
-		if name == "" {
-			name = fmt.Sprintf("ep%d", i)
-		}
-		f.Endpoints = append(f.Endpoints, &Endpoint{Name: name, Port: port, Engine: eng, Buffer: buf})
 	}
 	return f, nil
 }

@@ -1,21 +1,27 @@
 package topo
 
 import (
+	"pciebench/internal/sim"
 	"pciebench/internal/workload"
 )
 
 // RunWorkload drives cfg's traffic on every endpoint of the fabric
 // concurrently: each endpoint's ring region is host-warmed, its port
 // becomes the workload path and its buffer base the queue region, then
-// workload.RunMulti executes them all on the shared kernel. This is
-// the single assembly the sweep engine, the CLI and the examples share.
+// workload.RunMultiKernels executes them all — on the one shared
+// kernel of a serial fabric, or island by island on up to
+// f.SimWorkers() goroutines for a partitioned one, with byte-identical
+// results either way. This is the single assembly the sweep engine,
+// the CLI and the examples share.
 func RunWorkload(f *Fabric, cfg workload.Config, pairsEach int) (*workload.MultiResult, error) {
 	paths := make([]workload.Path, len(f.Endpoints))
 	bases := make([]uint64, len(f.Endpoints))
+	kernels := make([]*sim.Kernel, len(f.Endpoints))
 	for i, ep := range f.Endpoints {
 		ep.Buffer.WarmHost(0, cfg.Footprint())
 		paths[i] = ep.Port
 		bases[i] = ep.Buffer.DMAAddr(0)
+		kernels[i] = f.EndpointKernel(i)
 	}
-	return workload.RunMulti(f.Kernel, paths, bases, cfg, pairsEach)
+	return workload.RunMultiKernels(kernels, paths, bases, cfg, pairsEach, f.SimWorkers())
 }

@@ -690,8 +690,34 @@ type MultiResult struct {
 // decorrelated from cfg.Seed by its index. Every endpoint completes
 // pairsEach packet pairs.
 func RunMulti(k *sim.Kernel, paths []Path, bases []uint64, cfg Config, pairsEach int) (*MultiResult, error) {
+	kernels := make([]*sim.Kernel, len(paths))
+	for i := range kernels {
+		kernels[i] = k
+	}
+	if len(paths) == 0 {
+		kernels = []*sim.Kernel{k} // let RunMultiKernels report "no paths"
+	}
+	return RunMultiKernels(kernels, paths, bases, cfg, pairsEach, 1)
+}
+
+// RunMultiKernels is RunMulti for a partitioned fabric: kernels[i] is
+// the event kernel endpoint i's simulation island runs on. The kernels
+// are deduplicated (in first-appearance order) into domains; a single
+// domain runs exactly like RunMulti, several run concurrently on up to
+// workers goroutines via sim.NewParallel. Islands exchange no events,
+// so each free-runs to completion in one window. State construction,
+// start-event scheduling and result collection all happen in global
+// endpoint order, which keeps results byte-identical to the serial
+// single-kernel run at every worker count.
+func RunMultiKernels(kernels []*sim.Kernel, paths []Path, bases []uint64, cfg Config, pairsEach, workers int) (*MultiResult, error) {
+	if len(kernels) == 0 {
+		return nil, fmt.Errorf("workload: no kernels")
+	}
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("workload: no paths")
+	}
+	if len(kernels) != len(paths) {
+		return nil, fmt.Errorf("workload: %d kernels but %d paths", len(kernels), len(paths))
 	}
 	if len(paths) != len(bases) {
 		return nil, fmt.Errorf("workload: %d paths but %d buffer bases", len(paths), len(bases))
@@ -704,16 +730,35 @@ func RunMulti(k *sim.Kernel, paths []Path, bases []uint64, cfg Config, pairsEach
 		return nil, err
 	}
 
+	var domains []*sim.Kernel
+	for _, k := range kernels {
+		seen := false
+		for _, d := range domains {
+			if d == k {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			domains = append(domains, k)
+		}
+	}
+
 	states := make([]*runState, len(paths))
+	starts := make([]sim.Time, len(paths))
 	for i := range paths {
-		states[i] = newRunState(k, paths[i], bases[i], cfg, pairsEach, runner.Seed(cfg.Seed, i))
+		states[i] = newRunState(kernels[i], paths[i], bases[i], cfg, pairsEach, runner.Seed(cfg.Seed, i))
 		defer states[i].release()
 	}
-	start := k.Now()
-	for _, s := range states {
-		k.AfterEvent(0, startEvent{s}, 0, 0)
+	for i, s := range states {
+		starts[i] = kernels[i].Now()
+		kernels[i].AfterEvent(0, startEvent{s}, 0, 0)
 	}
-	k.Run()
+	if len(domains) == 1 {
+		domains[0].Run()
+	} else {
+		sim.NewParallel(domains).Run(workers)
+	}
 
 	res := &MultiResult{}
 	var scratch stats.Scratch
@@ -723,17 +768,16 @@ func RunMulti(k *sim.Kernel, paths []Path, bases []uint64, cfg Config, pairsEach
 		if err := s.finished(); err != nil {
 			return nil, fmt.Errorf("workload: endpoint %d: %w", i, err)
 		}
-		if s.endAt > res.Elapsed {
-			res.Elapsed = s.endAt
+		if d := s.endAt - starts[i]; d > res.Elapsed {
+			res.Elapsed = d
 		}
 		res.Pairs += s.pairs
 		allLat = append(allLat, s.lat...)
 		for q := range s.queues {
 			totalBytes += s.queues[q].bytes
 		}
-		res.Endpoints = append(res.Endpoints, EndpointResult{Endpoint: i, Result: *s.collect(start, &scratch)})
+		res.Endpoints = append(res.Endpoints, EndpointResult{Endpoint: i, Result: *s.collect(starts[i], &scratch)})
 	}
-	res.Elapsed -= start
 	secs := res.Elapsed.Seconds()
 	res.PPS = float64(res.Pairs) / secs
 	res.GbpsPerDirection = float64(totalBytes) * 8 / secs / 1e9
