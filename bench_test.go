@@ -508,6 +508,49 @@ func BenchmarkFabricParallel(b *testing.B) {
 	b.Run("64ep", func(b *testing.B) { benchFabric(b, 64, 4, 60) })
 }
 
+// benchFabricCoupled drives a coupled topology — every endpoint behind
+// one shared gen3x8 switch, a single simulation island — serially or
+// through the windowed barrier-replay build. Results are byte-identical
+// either way, so the ns/op delta isolates the staging/merge overhead.
+func benchFabricCoupled(b *testing.B, endpoints, simWorkers, pairs int) {
+	b.ReportAllocs()
+	sys, err := sysconf.ByName("NFP6000-BDW")
+	if err != nil {
+		b.Fatal(err)
+	}
+	uplink := pcie.DefaultGen3x8()
+	var pps float64
+	for i := 0; i < b.N; i++ {
+		fab, err := sys.Fabric(topo.Shape{Endpoints: endpoints, Switch: &uplink},
+			sysconf.Options{Seed: 37, BufferSize: 1 << 20, NoJitter: true, SimWorkers: simWorkers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := topo.RunWorkload(fab, workload.Config{Seed: 37, BufferBytes: 1 << 20}, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps = res.PPS
+	}
+	b.ReportMetric(pps/1e6, "Mpps")
+	b.ReportMetric(float64(endpoints), "endpoints")
+}
+
+// BenchmarkFabricCoupledSerial is the coupled reference: the shared
+// switch simulated inline on the one event kernel.
+func BenchmarkFabricCoupledSerial(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabricCoupled(b, 8, 1, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabricCoupled(b, 64, 1, 60) })
+}
+
+// BenchmarkFabricCoupledParallel runs the same fabrics as one coupled
+// island: per-endpoint kernels staging pairs, a hub kernel replaying
+// them at window barriers, completions over windowed channels.
+func BenchmarkFabricCoupledParallel(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabricCoupled(b, 8, 4, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabricCoupled(b, 64, 4, 60) })
+}
+
 // BenchmarkTopo_P2P compares device-to-device DMA against the bounce
 // through host DRAM (512B transfers) and reports both medians.
 func BenchmarkTopo_P2P(b *testing.B) {

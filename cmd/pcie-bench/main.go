@@ -118,7 +118,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		socketSel = fs.String("socket", "", "topology: endpoint placement (socket index or split)")
 		localBuf  = fs.Bool("local-buffers", false, "topology: home each endpoint's DMA buffer on its own socket's NUMA node")
 		noJitter  = fs.Bool("nojitter", false, "disable root-complex latency jitter")
-		simPar    = fs.Int("sim-parallel", 1, "simulation workers for partitionable multi-endpoint fabrics (1 = serial; results are byte-identical for any value)")
+		simPar    = fs.Int("sim-parallel", 1, "simulation workers "+sweep.SimWorkersRange()+" for partitionable multi-endpoint fabrics (1 = serial; results are byte-identical for any value)")
 		p2pMode   = fs.String("p2p", "direct", "p2p: transfer path (direct or bounce)")
 	)
 	if err := fs.Parse(args); err != nil {

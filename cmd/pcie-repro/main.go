@@ -56,7 +56,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		full     = fs.Bool("full", false, "paper-scale sample counts (slower)")
 		only     = fs.String("only", "", "run a single experiment (fig1..fig9, table1, table2)")
 		parallel = fs.Int("parallel", 0, "experiment worker count (0 = GOMAXPROCS); output is identical for any value")
-		simPar   = fs.Int("sim-parallel", 1, "simulation workers for partitionable multi-endpoint fabric cells (1 = serial; output is identical for any value)")
+		simPar   = fs.Int("sim-parallel", 1, "simulation workers "+sweep.SimWorkersRange()+" for partitionable multi-endpoint fabric cells (1 = serial; output is identical for any value)")
 		list     = fs.Bool("list", false, "list registered sweeps and exit")
 		runName  = fs.String("run", "", "run one registered sweep; remaining args override axes (e.g. gen=4,5 lanes=16)")
 		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")

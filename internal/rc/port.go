@@ -288,7 +288,7 @@ func (p *Port) jitter() sim.Time {
 	if p.sock.jitter == nil {
 		return 0
 	}
-	return p.sock.jitter.Sample(p.r.k.Rand())
+	return p.sock.jitter.Sample(p.sock.rng)
 }
 
 // sendUp serializes one device->host TLP of wire bytes (taking dur on

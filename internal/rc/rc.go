@@ -124,6 +124,11 @@ type SocketConfig struct {
 	PipeSlots   int
 	// Jitter optionally perturbs per-TLP processing (nil = none).
 	Jitter Jitter
+	// RNG is the random stream Jitter samples draw from. Nil selects
+	// the kernel's stream (the historical behavior); partitioned
+	// fabrics install a dedicated per-island stream here so islands
+	// consume no shared randomness.
+	RNG *rand.Rand
 }
 
 // Socket is one CPU socket's root-complex pipeline: ports and switch
@@ -134,6 +139,7 @@ type Socket struct {
 	pipe        *sim.MultiServer
 	pipeLatency sim.Time
 	jitter      Jitter
+	rng         *rand.Rand
 }
 
 // Node returns the NUMA node this socket's memory controller owns.
@@ -227,11 +233,16 @@ func (r *RootComplex) AddSocket(cfg SocketConfig) (*Socket, error) {
 	if cfg.PipeSlots < 1 {
 		return nil, fmt.Errorf("rc: PipeSlots must be >= 1")
 	}
+	rng := cfg.RNG
+	if rng == nil {
+		rng = r.k.Rand()
+	}
 	s := &Socket{
 		node:        cfg.Node,
 		pipe:        sim.NewMultiServer(r.k, cfg.PipeSlots),
 		pipeLatency: cfg.PipeLatency,
 		jitter:      cfg.Jitter,
+		rng:         rng,
 	}
 	r.sockets = append(r.sockets, s)
 	return s, nil

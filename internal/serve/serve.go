@@ -247,7 +247,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		n, err := strconv.Atoi(sw)
 		if err != nil {
 			apiError(w, http.StatusBadRequest,
-				"simworkers must be an integer in [1, %d], not %q", sweep.MaxSimWorkers, sw)
+				"simworkers must be an integer in %s, not %q", sweep.SimWorkersRange(), sw)
 			return
 		}
 		if err := sweep.ValidateSimWorkers(n); err != nil {

@@ -1,3 +1,44 @@
+// Conservative parallel simulation — design note.
+//
+// A ParallelKernel advances its domains in windows: compute the global
+// next-event lower bound, let every domain run all events strictly
+// below bound+lookahead, then hold a barrier where cross-domain
+// messages staged on declared links are delivered in link-creation
+// order. Lookahead is the minimum declared link latency, so no message
+// staged during a window can land inside it — the windows are safe by
+// construction, and because staging and draining are pure functions of
+// simulation state, results are byte-identical at every worker count.
+// A single worker runs the identical window loop single-threaded; the
+// serial schedule is the reference the parallel one is defined against,
+// which is why goldens are always pinned from serial runs.
+//
+// Coupled fabrics (the barrier-replay merge protocol). Endpoints that
+// share fabric state cannot free-run, but they can stage: each member
+// runs its workload control loop on its own domain and records the
+// packet pairs it would have issued, while all shared fabric state
+// binds to a hub domain whose heap stays empty (the root-complex model
+// is virtual-clock, not event-driven). At each barrier a Merger sorts
+// the staged pairs by (issue time, issuing context, stage index) —
+// the context is the virtual sequence number of the causally preceding
+// event, so the sort reproduces the serial kernel's (time, seq) FCFS
+// order exactly — replays them into the hub at their recorded times,
+// and Sends each completion back over the member's link. The link's
+// latency is a static lower bound on pair completion (wire, header
+// serialization and pipeline latencies), so replayed completions
+// always clear the conservative horizon.
+//
+// Randomness. Workload streams are per-endpoint (seeded by endpoint
+// index) and live on the member domains, so they drain identically in
+// any schedule. Root-complex jitter is per-socket state: island 0
+// keeps its kernel's stream — preserving every golden pinned before
+// islands existed, so the "re-pin" that accompanied this design was a
+// documented no-op — while each further island draws from a stream
+// derived from the spec seed and island id (topo.islandSeed). Serial
+// builds install the same assignment, keeping jittery fabrics
+// byte-identical serial-vs-parallel. On a coupled island the hub's
+// jitter draws happen in replay order, which equals serial issue
+// order, so they too match the serial build draw for draw.
+
 package sim
 
 import (
@@ -35,6 +76,18 @@ type plink struct {
 	buf      []pmsg
 }
 
+// Merger is a deterministic barrier hook: at every window barrier the
+// coordinator invokes each registered merger, single-threaded and in
+// registration order, before draining the staged cross-domain
+// messages. A merger typically collects work its domains staged during
+// the window, orders it by simulation time (re-establishing the serial
+// schedule), replays it against shared state bound to a dedicated
+// domain, and Sends the outcomes back over declared links — the
+// coupled-fabric merge protocol internal/workload builds on.
+type Merger interface {
+	Merge(p *ParallelKernel)
+}
+
 // ParallelKernel runs several Kernels as one conservative
 // parallel-discrete-event simulation. Domains execute concurrently in
 // time windows: the coordinator computes the global lower bound (the
@@ -42,9 +95,10 @@ type plink struct {
 // executes all events strictly below bound+lookahead, where lookahead
 // is the minimum latency of any cross-domain link — no message sent
 // during the window can arrive below that horizon. At the window
-// barrier, staged messages are drained link by link in creation order
-// and delivered into the destination kernels, so sequence numbers —
-// and therefore (time,seq) tie-breaks — are identical at any worker
+// barrier, mergers run first (single-threaded, in registration order),
+// then staged messages are drained link by link in creation order and
+// delivered into the destination kernels, so sequence numbers — and
+// therefore (time,seq) tie-breaks — are identical at any worker
 // count.
 //
 // Domains with no links at all (the island-partitioned fabric case)
@@ -52,12 +106,13 @@ type plink struct {
 //
 // A ParallelKernel is not safe for concurrent use by multiple
 // callers; Send may only be called from a handler executing on the
-// sending domain's kernel during Run.
+// sending domain's kernel during Run, or from a Merger at the barrier.
 type ParallelKernel struct {
 	domains   []*Kernel
 	links     []plink
 	linkIdx   map[[2]int]int
 	lookahead Time // min link latency; maxTime when no links
+	mergers   []Merger
 }
 
 // NewParallel builds a coordinator over the given kernels; kernels[i]
@@ -127,6 +182,16 @@ func (p *ParallelKernel) Send(src, dst int, at Time, h Handler, a, b int64) {
 	l.buf = append(l.buf, pmsg{at: at, a: a, b: b, h: h})
 }
 
+// AddMerger registers a barrier hook. Mergers run single-threaded at
+// every window barrier, in registration order, before staged messages
+// are drained — so everything a merger Sends is delivered in the same
+// barrier. Registration order is part of the deterministic schedule;
+// callers must register mergers in a fixed order (topo registers one
+// per coupled island, ascending).
+func (p *ParallelKernel) AddMerger(m Merger) {
+	p.mergers = append(p.mergers, m)
+}
+
 // minNext returns the global lower bound on the next event time across
 // all domains, or false when every queue is empty.
 func (p *ParallelKernel) minNext() (Time, bool) {
@@ -163,6 +228,15 @@ func (p *ParallelKernel) drain() bool {
 		delivered = true
 	}
 	return delivered
+}
+
+// mergeAndDrain runs the barrier: mergers first (they may stage more
+// messages), then the drain. Reports whether any message was delivered.
+func (p *ParallelKernel) mergeAndDrain() bool {
+	for _, m := range p.mergers {
+		m.Merge(p)
+	}
+	return p.drain()
 }
 
 // runWindow executes every domain up to (but excluding) horizon, on up
@@ -208,14 +282,20 @@ func (p *ParallelKernel) Run(workers int) Time {
 	for {
 		bound, ok := p.minNext()
 		if !ok {
-			break
+			// Every heap is empty, but a merger may still hold staged
+			// work (coupled-fabric replay); only stop once a barrier
+			// delivers nothing.
+			if !p.mergeAndDrain() {
+				break
+			}
+			continue
 		}
 		horizon := maxTime
 		if p.lookahead < maxTime-bound {
 			horizon = bound + p.lookahead
 		}
 		p.runWindow(horizon, workers)
-		p.drain()
+		p.mergeAndDrain()
 	}
 	end := Time(0)
 	for _, k := range p.domains {

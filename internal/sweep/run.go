@@ -123,10 +123,18 @@ type RunOptions struct {
 // help.
 const MaxSimWorkers = 64
 
+// SimWorkersRange renders the accepted simworkers interval. Every
+// surface that names the bound — CLI flag help, the service's 400
+// response, validation errors — formats it through this one string, so
+// they can never drift apart.
+func SimWorkersRange() string {
+	return fmt.Sprintf("[1, %d]", MaxSimWorkers)
+}
+
 // ValidateSimWorkers checks a user-supplied simulation worker count.
 func ValidateSimWorkers(n int) error {
 	if n < 1 || n > MaxSimWorkers {
-		return fmt.Errorf("sweep: simworkers %d outside the valid range [1, %d]", n, MaxSimWorkers)
+		return fmt.Errorf("sweep: simworkers %d outside the valid range %s", n, SimWorkersRange())
 	}
 	return nil
 }

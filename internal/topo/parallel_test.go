@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"pciebench/internal/sim"
 	"pciebench/internal/sysconf"
 	"pciebench/internal/topo"
 	"pciebench/internal/workload"
@@ -58,8 +59,20 @@ func TestParallelFabricByteIdentical(t *testing.T) {
 		if !reflect.DeepEqual(fab.Islands, want) {
 			t.Fatalf("islands %v, want %v", fab.Islands, want)
 		}
-		if fab.EndpointKernel(0) == fab.EndpointKernel(1) || fab.EndpointKernel(0) != fab.EndpointKernel(2) {
-			t.Fatal("endpoint-to-kernel mapping does not follow the islands")
+		// Each island holds two endpoints coupled by a shared socket, so
+		// the linked build gives every member its own kernel and routes
+		// the shared fabric through a hub per island.
+		if len(fab.Coupled) != 2 ||
+			!reflect.DeepEqual(fab.Coupled[0].Endpoints, []int{0, 2}) ||
+			!reflect.DeepEqual(fab.Coupled[1].Endpoints, []int{1, 3}) {
+			t.Fatalf("coupled groups %+v, want islands {0,2} and {1,3}", fab.Coupled)
+		}
+		kset := map[*sim.Kernel]bool{}
+		for i := range fab.Endpoints {
+			kset[fab.EndpointKernel(i)] = true
+		}
+		if len(kset) != len(fab.Endpoints) {
+			t.Fatalf("coupled members share kernels: %d distinct of %d", len(kset), len(fab.Endpoints))
 		}
 		res, err := topo.RunWorkload(fab, cfg, 400)
 		if err != nil {
@@ -238,9 +251,11 @@ func TestParallelFabricRejectsCrossDomainTraffic(t *testing.T) {
 	}
 }
 
-// TestParallelFallbacks pins the specs that must refuse to partition:
-// IOMMU translation state and root-complex jitter are global, and a
-// single-endpoint shape has nothing to split.
+// TestParallelFallbacks pins the partitioning policy edges: IOMMU
+// translation state is global and a single-endpoint shape has nothing
+// to split, so both stay serial — while jitter, shared buffer nodes
+// and shared switches no longer force a serial build (jitter draws a
+// per-island stream; coupled islands replay through a hub).
 func TestParallelFallbacks(t *testing.T) {
 	sys, err := sysconf.ByName("NFP6000-BDW")
 	if err != nil {
@@ -258,22 +273,22 @@ func TestParallelFallbacks(t *testing.T) {
 	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, IOMMU: true, BufferSize: 1 << 20}, shape); fab.Parallel() {
 		t.Error("IOMMU fabric partitioned; translation state is global")
 	}
-	if fab := build(sysconf.Options{SimWorkers: 4, BufferSize: 1 << 20}, shape); fab.Parallel() {
-		t.Error("jittery fabric partitioned; jitter draws the kernel rng in global order")
+	if fab := build(sysconf.Options{SimWorkers: 4, BufferSize: 1 << 20}, shape); !fab.Parallel() {
+		t.Error("jittery split fabric stayed serial; each island owns its jitter stream")
 	}
 	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true}, topo.Shape{}); fab.Parallel() {
 		t.Error("single-endpoint fabric partitioned")
 	}
-	// Shared buffer node couples everything: without LocalBuffers all
-	// buffers land on node 0.
+	// Shared buffer node couples everything into one island — which the
+	// linked build still parallelizes, replaying through a hub.
 	noLocal := topo.Shape{Endpoints: 4, Placement: "split"}
-	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, BufferSize: 1 << 20}, noLocal); fab.Parallel() {
-		t.Error("shared-buffer-node fabric partitioned; LLC state is shared")
+	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, BufferSize: 1 << 20}, noLocal); !fab.Parallel() || len(fab.Coupled) != 1 {
+		t.Error("shared-buffer-node fabric did not build one coupled island")
 	}
-	// A switch funnels everyone through one uplink: one island.
+	// A switch funnels everyone through one uplink: one island, one hub.
 	sw := shapeLink()
 	swShape := topo.Shape{Endpoints: 4, Switch: sw, LocalBuffers: true}
-	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, BufferSize: 1 << 20}, swShape); fab.Parallel() {
-		t.Error("switched fabric partitioned; the uplink is shared")
+	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, BufferSize: 1 << 20}, swShape); !fab.Parallel() || len(fab.Coupled) != 1 {
+		t.Error("switched fabric did not build one coupled island")
 	}
 }

@@ -1,11 +1,13 @@
 package topo
 
+import "math/rand"
+
 // This file computes the conservative-parallel partition of a Spec:
 // which endpoints can run on independent event kernels with results
 // byte-identical to the single-kernel build.
 //
-// Two endpoints must share a kernel whenever their simulated traffic
-// can meet on mutable simulation state:
+// Two endpoints land in the same island whenever their simulated
+// traffic can meet on mutable simulation state:
 //
 //   - the same switch (shared uplink arbitration and credit pools),
 //   - the same socket (shared root-complex pipeline slots; a switched
@@ -14,18 +16,26 @@ package topo
 //     AccessFrom touches only the home node's state),
 //   - the shared inter-socket bus, when the spec models one: every
 //     endpoint whose buffer is remote to its ingress socket queues on
-//     the one xbus resource, so all such endpoints couple.
+//     the one xbus resource, so all such endpoints couple,
+//   - a declared peer pairing (Spec.Peers): static P2P intent means
+//     their BAR traffic must route inside one island's address map
+//     instead of hitting the runtime cross-domain refusal.
 //
-// Two spec features serialize the whole fabric:
+// A multi-endpoint island no longer forces a serial build: its
+// endpoints get their own event kernels, the shared fabric state binds
+// to a hub kernel, and traffic replays through the hub at window
+// barriers in serial order (see buildLinked and workload's merge
+// protocol). Root-complex jitter does not serialize anything either —
+// each island's sockets sample a dedicated random stream keyed by
+// island id (islandRNG), so islands consume no shared randomness.
 //
-//   - an IOMMU: one translation cache and walker pool on every DMA
-//     path, and
-//   - root-complex jitter on any socket an endpoint uses: jitter draws
-//     from the kernel's random source in global event order, which has
-//     no island-local equivalent.
+// One spec feature still serializes the whole fabric: an IOMMU puts
+// one translation cache and walker pool on every DMA path, and that
+// state has no island-local or hub-replayable decomposition yet.
 //
-// Peer-to-peer BAR traffic cannot be seen statically; it is guarded at
-// run time instead (rc rejects DMA that would cross domains).
+// Undeclared peer-to-peer BAR traffic cannot be seen statically; it is
+// guarded at run time instead (rc rejects DMA that would cross
+// domains).
 
 // unionFind is a plain union-find over endpoint indices.
 type unionFind []int
@@ -79,11 +89,6 @@ func islandsOf(spec Spec) [][]int {
 	if spec.IOMMU != nil {
 		return all()
 	}
-	for i := range spec.Endpoints {
-		if spec.Sockets[spec.socketOf(i)].Jitter != nil {
-			return all()
-		}
-	}
 
 	u := newUnionFind(n)
 	bySwitch := map[int]int{}
@@ -113,6 +118,9 @@ func islandsOf(spec Spec) [][]int {
 			}
 		}
 	}
+	for _, pr := range spec.Peers {
+		u.union(pr[0], pr[1])
+	}
 
 	var islands [][]int
 	idx := map[int]int{}
@@ -127,4 +135,54 @@ func islandsOf(spec Spec) [][]int {
 		islands[d] = append(islands[d], i)
 	}
 	return islands
+}
+
+// islandSeed derives island d's jitter-stream seed from the resolved
+// spec seed: a splitmix64-style mix whose increment constant differs
+// from runner.Seed's, so jitter streams never correlate with the
+// per-endpoint workload streams. Only islands beyond the first use a
+// derived stream — island 0's sockets keep the kernel stream, which
+// preserves every degenerate and single-island build (and all goldens
+// pinned before linked builds existed) byte for byte.
+func islandSeed(seed int64, d int) int64 {
+	z := uint64(seed) + uint64(d)*0xD1B54A32D192ED03
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	if z == 0 {
+		z = 0xD1B54A32D192ED03
+	}
+	return int64(z)
+}
+
+// socketRNGs maps each socket to the jitter stream its island owns:
+// nil (the kernel stream) for island 0 and for sockets no endpoint
+// ingresses at, a stream derived from islandSeed otherwise — one
+// shared stream per island, however many sockets it spans. Serial and
+// linked builds use the same assignment, which is what keeps them
+// byte-identical on jittery multi-island specs.
+func socketRNGs(spec Spec, seed int64, islands [][]int) []*rand.Rand {
+	rngs := make([]*rand.Rand, len(spec.Sockets))
+	if len(islands) < 2 {
+		return rngs
+	}
+	epIsle := make([]int, len(spec.Endpoints))
+	for d, isl := range islands {
+		for _, i := range isl {
+			epIsle[i] = d
+		}
+	}
+	perIsle := make([]*rand.Rand, len(islands))
+	for i := range spec.Endpoints {
+		s := spec.socketOf(i)
+		d := epIsle[i]
+		if d == 0 || spec.Sockets[s].Jitter == nil {
+			continue
+		}
+		if perIsle[d] == nil {
+			perIsle[d] = rand.New(rand.NewSource(islandSeed(seed, d)))
+		}
+		rngs[s] = perIsle[d]
+	}
+	return rngs
 }

@@ -112,11 +112,20 @@ type Spec struct {
 	Sockets      []SocketSpec
 	Switches     []SwitchSpec
 	Endpoints    []EndpointSpec
+	// Peers declares static peer-to-peer intent: each pair of endpoint
+	// indices exchanges BAR-window DMA. The partitioner couples every
+	// declared pair into one island, so declared peer traffic always
+	// routes inside a single address map instead of tripping the
+	// runtime cross-domain refusal on a parallel build.
+	Peers [][2]int
 	// SimWorkers asks Build for a conservative-parallel fabric on up
 	// to this many worker goroutines (<= 1, the default, builds the
-	// serial single-kernel form). Parallelism only materializes when
-	// the partitioner finds more than one independent endpoint island;
-	// results are byte-identical either way.
+	// serial single-kernel form). Parallelism materializes whenever
+	// the spec has more than one endpoint and no IOMMU: independent
+	// endpoints become islands of their own, and coupled groups run
+	// their endpoints on linked kernels that replay shared-fabric
+	// traffic through a hub at window barriers. Results are
+	// byte-identical either way.
 	SimWorkers int
 }
 
@@ -150,6 +159,16 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("topo: endpoint %d's buffer node %d outside the %d-node memory system", i, ep.BufferNode, s.Mem.Nodes)
 		}
 	}
+	for i, pr := range s.Peers {
+		for _, e := range pr {
+			if e < 0 || e >= len(s.Endpoints) {
+				return fmt.Errorf("topo: peer pair %d references endpoint %d of %d", i, e, len(s.Endpoints))
+			}
+		}
+		if pr[0] == pr[1] {
+			return fmt.Errorf("topo: peer pair %d pairs endpoint %d with itself", i, pr[0])
+		}
+	}
 	return nil
 }
 
@@ -162,11 +181,34 @@ type Endpoint struct {
 	Buffer *hostif.Buffer
 }
 
+// CoupledGroup describes one multi-endpoint island of a linked build:
+// the group's endpoints run on event kernels of their own while every
+// piece of shared fabric state (router, sockets, switches, ports)
+// binds to a hub kernel. The workload layer stages each endpoint's
+// fabric traffic during a window and replays it through the hub at the
+// window barrier, in serial issue order, so shared-uplink and
+// shared-pipeline contention is simulated exactly (see
+// internal/workload's merge protocol).
+type CoupledGroup struct {
+	// Island indexes Fabric.Islands.
+	Island int
+	// Hub is the kernel the group's shared fabric state runs on.
+	Hub *sim.Kernel
+	// Lookahead is a lower bound on the delay from issuing a workload
+	// pair on any group endpoint to its completion arriving back at
+	// the device; it becomes the ParallelKernel link latency of the
+	// hub->endpoint channels.
+	Lookahead sim.Time
+	// Endpoints lists the group's endpoint indices, ascending.
+	Endpoints []int
+}
+
 // Fabric is an assembled topology, ready to run benchmarks and
 // workloads on every endpoint concurrently. On a serial build every
-// endpoint shares Kernel and RC; on a partitioned build (SimWorkers >
-// 1 and more than one independent island) each island owns a kernel
-// and router of its own, and Kernel/RC alias island 0's.
+// endpoint shares Kernel and RC; on a linked build (SimWorkers > 1,
+// several endpoints, no IOMMU) each island owns a kernel and router of
+// its own — a coupled island's kernel is its hub, with one extra
+// kernel per member endpoint — and Kernel/RC alias island 0's.
 type Fabric struct {
 	Spec      Spec
 	Kernel    *sim.Kernel
@@ -185,12 +227,18 @@ type Fabric struct {
 	Islands [][]int
 	Routers []*rc.RootComplex
 
+	// Coupled lists the multi-endpoint islands of a linked build,
+	// ascending by island; empty on serial builds and on fabrics whose
+	// islands are all singletons.
+	Coupled []CoupledGroup
+
 	epKernel []*sim.Kernel // per-endpoint island kernel
 }
 
-// Parallel reports whether the fabric was partitioned into more than
-// one simulation island.
-func (f *Fabric) Parallel() bool { return len(f.Kernels) > 1 }
+// Parallel reports whether the fabric runs on more than one event
+// kernel (several islands, or at least one coupled group whose
+// endpoints link to a hub).
+func (f *Fabric) Parallel() bool { return len(f.Kernels) > 1 || len(f.Coupled) > 0 }
 
 // SimWorkers returns the worker-goroutine budget workloads should run
 // the fabric's islands on (always >= 1).
@@ -255,19 +303,26 @@ func addEndpoint(f *Fabric, router *rc.RootComplex, k *sim.Kernel, i int, es End
 // directly attached endpoint): same component order, no randomness
 // consumed, so results are byte-identical to the pre-topology code.
 //
-// With SimWorkers > 1 the endpoints are partitioned into independent
-// islands (see islandsOf); when more than one exists, each island gets
-// its own kernel and router so workloads can run them concurrently.
-// Specs whose endpoints all couple — and every spec with an IOMMU or
-// root-complex jitter — fall back to the serial single-kernel build.
+// With SimWorkers > 1 the endpoints are partitioned into islands (see
+// islandsOf) and built linked: independent endpoints get kernels of
+// their own, and coupled groups run each endpoint on its own kernel
+// with the shared fabric state on a hub kernel that replays their
+// traffic at window barriers. Only specs with an IOMMU — one
+// translation cache on every DMA path — and single-endpoint specs
+// stay on the serial single-kernel build.
+//
+// Either way, the sockets of islands beyond the first sample their
+// jitter from a per-island random stream derived from the spec seed
+// (see islandSeed); the serial build uses the same assignment, so
+// serial remains the reference schedule for every worker count.
 func Build(spec Spec) (*Fabric, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	if spec.SimWorkers > 1 {
-		if islands := islandsOf(spec); len(islands) > 1 {
-			return buildPartitioned(spec, islands)
-		}
+	islands := islandsOf(spec)
+	if spec.SimWorkers > 1 && spec.IOMMU == nil &&
+		(len(islands) > 1 || len(islands[0]) > 1) {
+		return buildLinked(spec, islands)
 	}
 	seed := spec.Seed
 	if seed == 0 {
@@ -289,10 +344,12 @@ func Build(spec Spec) (*Fabric, error) {
 	if spec.Interconnect != nil {
 		router.SetInterconnect(*spec.Interconnect)
 	}
+	sockRNG := socketRNGs(spec, seed, islands)
 	sockets := make([]*rc.Socket, len(spec.Sockets))
 	for i, sc := range spec.Sockets {
 		sockets[i], err = router.AddSocket(rc.SocketConfig{
-			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots, Jitter: sc.Jitter,
+			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots,
+			Jitter: sc.Jitter, RNG: sockRNG[i],
 		})
 		if err != nil {
 			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
@@ -335,14 +392,17 @@ func Build(spec Spec) (*Fabric, error) {
 	return f, nil
 }
 
-// buildPartitioned assembles a fabric whose endpoint islands each own
-// an event kernel and a root complex. The shared pieces — the memory
-// system (islands touch disjoint NUMA-node state by construction) and
-// the host buffer allocator (read-only after Build) — are built once;
-// sockets, switches and endpoints are created in spec order on their
-// island's router, and host buffers are allocated in global endpoint
-// order, so the address layout matches the serial build byte for byte.
-func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
+// buildLinked assembles a fabric whose endpoint islands each own an
+// event kernel and a root complex — and whose multi-endpoint islands
+// (coupled groups) additionally own one kernel per member endpoint,
+// with the group's fabric state bound to the island's kernel acting as
+// the hub. The shared pieces — the memory system (islands touch
+// disjoint NUMA-node state by construction) and the host buffer
+// allocator (read-only after Build) — are built once; sockets,
+// switches and endpoints are created in spec order on their island's
+// router, and host buffers are allocated in global endpoint order, so
+// the address layout matches the serial build byte for byte.
+func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 	seed := spec.Seed
 	if seed == 0 {
 		seed = 1
@@ -351,16 +411,19 @@ func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
 	if err != nil {
 		return nil, fmt.Errorf("topo: %w", err)
 	}
-	// islandsOf serializes IOMMU specs, so no translation state exists
+	// Build refuses to link IOMMU specs, so no translation state exists
 	// to share here.
 	host := hostif.New(ms, nil)
 
 	kernels := make([]*sim.Kernel, len(islands))
 	routers := make([]*rc.RootComplex, len(islands))
 	for d := range islands {
-		// Islands consume no kernel randomness (jitter forces a serial
-		// build), so seeding every island alike is safe and keeps the
-		// spec's single-seed contract.
+		// Every kernel is seeded alike, which keeps the spec's
+		// single-seed contract: singleton islands draw no kernel
+		// randomness (their jitter, if any, samples the per-island
+		// stream), and a coupled hub draws jitter in replay order —
+		// serial issue order — so island 0's hub replays the serial
+		// kernel stream exactly.
 		kernels[d] = sim.New(seed)
 		routers[d] = rc.NewRouter(kernels[d], ms, nil, host)
 		if spec.Interconnect != nil {
@@ -380,10 +443,12 @@ func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
 		sockIsle[spec.socketOf(i)] = epIsle[i]
 	}
 
+	sockRNG := socketRNGs(spec, seed, islands)
 	sockets := make([]*rc.Socket, len(spec.Sockets))
 	for i, sc := range spec.Sockets {
 		sockets[i], err = routers[sockIsle[i]].AddSocket(rc.SocketConfig{
-			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots, Jitter: sc.Jitter,
+			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots,
+			Jitter: sc.Jitter, RNG: sockRNG[i],
 		})
 		if err != nil {
 			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
@@ -406,6 +471,14 @@ func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
 		RC: routers[0], Switches: switches,
 		Kernels: kernels, Islands: islands, Routers: routers,
 	}
+	for d, isl := range islands {
+		if len(isl) > 1 {
+			f.Coupled = append(f.Coupled, CoupledGroup{
+				Island: d, Hub: kernels[d],
+				Lookahead: groupLookahead(spec, isl), Endpoints: isl,
+			})
+		}
+	}
 	for i, es := range spec.Endpoints {
 		var sw *rc.Switch
 		var sock *rc.Socket
@@ -414,7 +487,16 @@ func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
 		} else {
 			sw = switches[es.Switch]
 		}
-		if err := addEndpoint(f, routers[epIsle[i]], kernels[epIsle[i]], i, es, sock, sw); err != nil {
+		d := epIsle[i]
+		k := kernels[d]
+		if len(islands[d]) > 1 {
+			// A coupled group's member runs its control loop on a kernel
+			// of its own; the port it drives stays on the hub (island)
+			// kernel and is only driven in replay order at window
+			// barriers.
+			k = sim.New(seed)
+		}
+		if err := addEndpoint(f, routers[d], k, i, es, sock, sw); err != nil {
 			return nil, err
 		}
 	}
@@ -435,6 +517,38 @@ func buildPartitioned(spec Spec, islands [][]int) (*Fabric, error) {
 		}
 	}
 	return f, nil
+}
+
+// groupLookahead returns a lower bound on the delay from a workload
+// pair's issue on any of the group's endpoints to its completion
+// arriving back at the device. Every pair opens with a payload DMA
+// read, whose completion must cross the fabric up (request), through
+// the socket pipeline, and back down (first completion TLP) — each
+// term below under-approximates that path (jitter, flow control,
+// arbitration, memory latency and the inter-socket bus only add time),
+// so a pair staged at time t always completes at or after
+// t + lookahead. The linked build uses the group minimum as the
+// ParallelKernel link latency of its hub->endpoint channels: a window
+// bounded by it can never need a completion that has not been
+// replayed yet. SocketSpec.PipeLatency is validated positive, so the
+// bound always clears ParallelKernel.Connect's 1ps floor.
+func groupLookahead(spec Spec, isl []int) sim.Time {
+	var la sim.Time
+	for _, i := range isl {
+		ep := spec.Endpoints[i]
+		link := ep.Link
+		reqTime := sim.Time(link.BytesTime(pcie.MRdHeaderBytes(link.Addr64, link.ECRC)))
+		cplTime := sim.Time(link.BytesTime(pcie.CplDHeaderBytes(link.ECRC) + 1))
+		l := reqTime + cplTime + 2*ep.WireDelay + spec.Sockets[spec.socketOf(i)].PipeLatency
+		if ep.Switch != DirectAttach {
+			sw := spec.Switches[ep.Switch]
+			l += 2 * (sw.ForwardLatency + sw.WireDelay)
+		}
+		if la == 0 || l < la {
+			la = l
+		}
+	}
+	return la
 }
 
 // BARAddr returns the bus address of byte off inside endpoint ep's BAR
