@@ -1,0 +1,49 @@
+package topo_test
+
+import (
+	"reflect"
+	"testing"
+
+	"pciebench/internal/sysconf"
+	"pciebench/internal/topo"
+	"pciebench/internal/workload"
+)
+
+// Probe: open-loop (Poisson) coupled fabric, serial vs linked builds.
+func TestProbeOpenLoopCoupled(t *testing.T) {
+	arr, err := workload.Poisson(2e6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := workload.Config{Seed: 11, BufferBytes: 1 << 20, Arrival: arr, Queues: 2}
+	build := func(w int, jitter bool) *topo.Fabric {
+		sys, err := sysconf.ByName("NFP6000-BDW")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fab, err := sys.Fabric(topo.Shape{Endpoints: 4}, sysconf.Options{
+			Seed: 7, BufferSize: 1 << 20, NoJitter: !jitter, SimWorkers: w,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fab
+	}
+	for _, jitter := range []bool{false, true} {
+		ref, err := topo.RunWorkload(build(1, jitter), cfg, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{2, 4} {
+			res, err := topo.RunWorkload(build(w, jitter), cfg, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, res) {
+				t.Errorf("jitter=%v simworkers=%d diverged from serial (open-loop)", jitter, w)
+			} else {
+				t.Logf("jitter=%v simworkers=%d identical", jitter, w)
+			}
+		}
+	}
+}
