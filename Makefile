@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke bench-compare serve-smoke clean
+.PHONY: all build test test-short race cover fmt fmt-check vet bench bench-smoke bench-compare serve-smoke chaos-smoke clean
 
 all: build test
 
@@ -87,6 +87,12 @@ bench-compare:
 # step runs.
 serve-smoke:
 	sh examples/serve/smoke.sh
+
+# Chaos smoke of the service hardening: oversized body -> 413, slow
+# client -> read-deadline disconnect, overrunning job -> "timeout"
+# state. What CI's "Service chaos smoke" step runs.
+chaos-smoke:
+	sh examples/serve/chaos.sh
 
 clean:
 	rm -rf repro-out

@@ -31,6 +31,7 @@ import (
 	"strings"
 
 	"pciebench/internal/bench"
+	"pciebench/internal/fault"
 	"pciebench/internal/pcie"
 	_ "pciebench/internal/report" // registers the paper-figure sweeps
 	"pciebench/internal/stats"
@@ -120,6 +121,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		noJitter  = fs.Bool("nojitter", false, "disable root-complex latency jitter")
 		simPar    = fs.Int("sim-parallel", 1, "simulation workers "+sweep.SimWorkersRange()+" for partitionable multi-endpoint fabrics (1 = serial; results are byte-identical for any value)")
 		p2pMode   = fs.String("p2p", "direct", "p2p: transfer path (direct or bounce)")
+
+		// Fault-injection knobs (internal/fault); all off by default.
+		berRate    = fs.Float64("ber", 0, "fault injection: per-bit link error rate driving LCRC corruption and replay (0 = off)")
+		ctoFlag    = fs.String("cto", "", "fault injection: DMA read completion timeout, e.g. 10us (empty = off)")
+		retrainSel = fs.String("retrain", "", "fault injection: mean time between link retrain events, e.g. 1ms (empty = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -228,6 +234,10 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
+	faults, err := faultConfig(*berRate, *ctoFlag, *retrainSel)
+	if err != nil {
+		return err
+	}
 	opts := sysconf.Options{
 		Seed:       *seed,
 		IOMMU:      *iommuOn,
@@ -235,6 +245,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		BufferNode: *node,
 		NoJitter:   *noJitter,
 		SimWorkers: *simPar,
+		Faults:     faults,
 	}
 	shape := topo.Shape{Endpoints: *endpoints, Placement: *socketSel, LocalBuffers: *localBuf}
 	if *swSel != "" {
@@ -414,6 +425,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 			for _, ep := range mres.Endpoints {
 				fmt.Fprintf(stdout, "  ep%-2d %7d pairs  %8.3fM pps  %7.3f Gb/s  p50 %.0fns  p99 %.0fns\n",
 					ep.Endpoint, ep.Pairs, ep.PPS/1e6, ep.GbpsPerDirection, ep.Latency.Median, ep.Latency.P99)
+				if ep.Faults != nil {
+					fmt.Fprintf(stdout, "       faults: %s\n", faultLine(ep.Faults))
+				}
 			}
 			for _, sw := range fab.Switches {
 				if ws, ok := sw.WaitSummary(true); ok {
@@ -441,6 +455,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		for _, q := range res.Queues {
 			fmt.Fprintf(stdout, "  q%-3d %7d pairs  %8.3fM pps  %7.3f Gb/s  p50 %.0fns  p99 %.0fns\n",
 				q.Queue, q.Pairs, q.PPS/1e6, q.Gbps, q.Latency.Median, q.Latency.P99)
+		}
+		if c := inst.Fabric.Endpoints[0].Faults; c != nil {
+			fmt.Fprintf(stdout, "  faults: %s\n", faultLine(c))
 		}
 	case "lat_rd", "lat_wrrd":
 		run := bench.LatRd
@@ -490,5 +507,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
+	// The micro benches drive the engine's completion-timeout model;
+	// report the endpoint's counters whenever faults are armed.
+	if *benchSel != "workload" && inst != nil && len(inst.Fabric.Endpoints) > 0 {
+		if c := inst.Fabric.Endpoints[0].Faults; c != nil {
+			fmt.Fprintf(stdout, "  faults: %s\n", faultLine(c))
+		}
+	}
 	return nil
+}
+
+// faultConfig assembles the fault-injection options from the CLI
+// flags; nil (fault-free) when every knob is off.
+func faultConfig(ber float64, cto, retrain string) (*fault.Config, error) {
+	fc := &fault.Config{BER: ber}
+	var err error
+	if cto != "" {
+		if fc.CTO, err = sweep.ParseDuration(cto); err != nil {
+			return nil, fmt.Errorf("-cto: %w", err)
+		}
+	}
+	if retrain != "" {
+		if fc.RetrainMTBF, err = sweep.ParseDuration(retrain); err != nil {
+			return nil, fmt.Errorf("-retrain: %w", err)
+		}
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	if !fc.Enabled() {
+		return nil, nil
+	}
+	return fc, nil
+}
+
+// faultLine renders one endpoint's fault counters for the text
+// reports.
+func faultLine(c *fault.Counters) string {
+	return fmt.Sprintf("replays %d  timeouts %d  retrains %d  (correctable %d  non-fatal %d  fatal %d)",
+		c.Replays, c.Timeouts, c.Retrains, c.Correctable, c.NonFatal, c.Fatal)
 }

@@ -232,3 +232,47 @@ func TestTopologyFlagErrors(t *testing.T) {
 		t.Error("bad p2p mode accepted")
 	}
 }
+
+// TestFaultFlags drives the -ber/-cto/-retrain CLI surface: a faulty
+// workload run prints per-endpoint AER-style counter lines, a
+// zero-fault run prints none, and bad values error before any
+// simulation runs.
+func TestFaultFlags(t *testing.T) {
+	out, err := runCLI(t, "-system", "NFP6000-BDW", "-bench", "workload",
+		"-endpoints", "2", "-switch", "gen3x8", "-nojitter",
+		"-ber", "1e-5", "-retrain", "100us", "-n", "400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "faults:") || !strings.Contains(out, "replays") {
+		t.Errorf("faulty run missing counter lines:\n%s", out)
+	}
+
+	clean, err := runCLI(t, "-system", "NFP6000-BDW", "-bench", "workload",
+		"-endpoints", "2", "-switch", "gen3x8", "-nojitter", "-n", "400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(clean, "faults:") {
+		t.Errorf("fault-free run printed counters:\n%s", clean)
+	}
+
+	// A generous CTO on a micro bench prints engine counters.
+	out, err = runCLI(t, "-bench", "lat_rd", "-cto", "1ms", "-n", "200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "faults:") {
+		t.Errorf("CTO run missing counter line:\n%s", out)
+	}
+
+	for _, bad := range [][]string{
+		{"-ber", "2"},
+		{"-cto", "soon"},
+		{"-retrain", "-5us"},
+	} {
+		if _, err := runCLI(t, append([]string{"-bench", "lat_rd", "-n", "100"}, bad...)...); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}

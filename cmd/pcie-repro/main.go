@@ -62,11 +62,18 @@ func run(args []string, stdout, stderr io.Writer) error {
 		specPath = fs.String("spec", "", "run a custom sweep from a JSON spec file; remaining args override axes")
 		format   = fs.String("format", "table", "sweep output format: "+strings.Join(sweep.Formats(), "|"))
 		cacheDir = fs.String("cache-dir", "", "dedup sweep cells against an on-disk result cache in this directory")
+		ber      = fs.String("ber", "", "with -run/-spec: override the link bit error rate axis (e.g. 1e-6)")
+		cto      = fs.String("cto", "", "with -run/-spec: override the completion-timeout axis (e.g. 10us)")
+		retrain  = fs.String("retrain", "", "with -run/-spec: override the link-retrain MTBF axis (e.g. 50us)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if err := sweep.ValidateSimWorkers(*simPar); err != nil {
+		return err
+	}
+	faultOverrides, err := faultArgs(*ber, *cto, *retrain)
+	if err != nil {
 		return err
 	}
 
@@ -78,16 +85,39 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	cli := &sweep.CLI{
 		List: *list, RunName: *runName, SpecPath: *specPath,
-		Overrides: fs.Args(), Format: *format,
+		Overrides: append(fs.Args(), faultOverrides...), Format: *format,
 		Workers: *parallel, SimWorkers: *simPar, Quality: q, CacheDir: *cacheDir,
 	}
 	if cli.Active() {
 		return cli.Execute(context.Background(), stdout, stderr)
 	}
-	if len(fs.Args()) > 0 {
-		return fmt.Errorf("unexpected arguments %v (axis overrides need -run or -spec)", fs.Args())
+	if len(cli.Overrides) > 0 {
+		return fmt.Errorf("unexpected arguments %v (axis overrides need -run or -spec)", cli.Overrides)
 	}
 	return reproduce(*out, *only, q, stdout)
+}
+
+// faultArgs turns the -ber/-cto/-retrain convenience flags into sweep
+// axis overrides, validating values eagerly so a typo fails before any
+// experiment runs.
+func faultArgs(ber, cto, retrain string) ([]string, error) {
+	var overrides []string
+	if ber != "" {
+		if _, err := sweep.ParseBER(ber); err != nil {
+			return nil, fmt.Errorf("-ber: %w", err)
+		}
+		overrides = append(overrides, "ber="+ber)
+	}
+	for _, f := range []struct{ name, val string }{{"cto", cto}, {"retrain", retrain}} {
+		if f.val == "" {
+			continue
+		}
+		if _, err := sweep.ParseDuration(f.val); err != nil {
+			return nil, fmt.Errorf("-%s: %w", f.name, err)
+		}
+		overrides = append(overrides, f.name+"="+f.val)
+	}
+	return overrides, nil
 }
 
 // reproduce regenerates the paper's figures and tables into dir.

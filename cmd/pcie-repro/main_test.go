@@ -124,3 +124,27 @@ func TestReproduceSingleExperiment(t *testing.T) {
 		t.Errorf("table1.tsv not written: %v", err)
 	}
 }
+
+// TestFaultFlagOverrides: -ber/-cto/-retrain translate to validated
+// axis overrides for -run/-spec, and bad values fail fast.
+func TestFaultFlagOverrides(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	err := run([]string{"-run", "ber-goodput", "-ber", "1e-6", "-cto", "1ms",
+		"-retrain", "1s", "-format", "tsv", "n=100"}, &stdout, &stderr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stdout.String(), "1e-6") {
+		t.Errorf("-ber override missing from grid:\n%s", stdout.String())
+	}
+	for _, bad := range [][]string{
+		{"-run", "ber-goodput", "-ber", "2"},
+		{"-run", "ber-goodput", "-cto", "soon"},
+		{"-run", "ber-goodput", "-retrain", "-1us"},
+		{"-ber", "1e-6"}, // overrides need -run or -spec
+	} {
+		if err := run(bad, &stdout, &stderr); err == nil {
+			t.Errorf("%v accepted", bad)
+		}
+	}
+}

@@ -64,6 +64,11 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 		cacheSel = fs.String("cache", "mem", "result cache backend: mem|disk|off")
 		cacheDir = fs.String("cache-dir", "pcie-served-cache", "on-disk cache directory (with -cache disk)")
 		quiet    = fs.Bool("quiet", false, "suppress per-request and per-job log lines")
+
+		readTO  = fs.Duration("read-timeout", 30*time.Second, "per-request read deadline (headers+body; 0 = none)")
+		writeTO = fs.Duration("write-timeout", 0, "per-request write deadline (0 = none; streaming results need it off or generous)")
+		jobTO   = fs.Duration("job-timeout", 0, "per-job wall-clock deadline; an overrunning sweep is cancelled and reported as \"timeout\" (0 = none)")
+		maxBody = fs.Int64("max-body", 4<<20, "largest accepted request body in bytes (oversized submissions get 413)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,21 +87,6 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 		return fmt.Errorf("-quality must be quick or full, not %q", *quality)
 	}
 
-	var store cache.Store
-	switch *cacheSel {
-	case "mem":
-		store = cache.NewMemory()
-	case "disk":
-		var err error
-		store, err = cache.NewDisk(*cacheDir)
-		if err != nil {
-			return fmt.Errorf("open cache: %w", err)
-		}
-	case "off":
-	default:
-		return fmt.Errorf("-cache must be mem, disk or off, not %q", *cacheSel)
-	}
-
 	// Request and job goroutines log concurrently; serialize writes so
 	// any io.Writer (not just *os.File) is safe to pass in.
 	var logMu sync.Mutex
@@ -105,12 +95,30 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 		defer logMu.Unlock()
 		fmt.Fprintf(stderr, format+"\n", args...)
 	}
+
+	var store cache.Store
+	switch *cacheSel {
+	case "mem":
+		store = cache.NewMemory()
+	case "disk":
+		disk, err := cache.NewDisk(*cacheDir)
+		if err != nil {
+			return fmt.Errorf("open cache: %w", err)
+		}
+		disk.Logf = logf // quarantine events are operator-facing, never quieted
+		store = disk
+	case "off":
+	default:
+		return fmt.Errorf("-cache must be mem, disk or off, not %q", *cacheSel)
+	}
 	srv := serve.New(serve.Config{
-		Workers: *workers,
-		MaxJobs: *maxJobs,
-		Quality: q,
-		Cache:   store,
-		Build:   buildinfo.Version(),
+		Workers:    *workers,
+		MaxJobs:    *maxJobs,
+		Quality:    q,
+		Cache:      store,
+		Build:      buildinfo.Version(),
+		MaxBody:    *maxBody,
+		JobTimeout: *jobTO,
 		Logf: func(format string, args ...any) {
 			if !*quiet {
 				logf(format, args...)
@@ -128,7 +136,16 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready func(addr s
 		ready(ln.Addr().String())
 	}
 
-	hs := &http.Server{Handler: srv}
+	// Per-request socket deadlines: a stalled or malicious client can
+	// hold a connection open only this long. Write stays configurable
+	// (and off by default) because ?stream=1 responses legitimately
+	// outlive any fixed deadline.
+	hs := &http.Server{
+		Handler:           srv,
+		ReadTimeout:       *readTO,
+		ReadHeaderTimeout: *readTO,
+		WriteTimeout:      *writeTO,
+	}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -124,4 +125,48 @@ func TestDiskShard(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, key[:2], key)); err != nil {
 		t.Fatalf("entry not at sharded path: %v", err)
 	}
+}
+
+// TestDiskQuarantine pins the corrupt-entry recovery loop: a
+// quarantined entry is renamed to .bad (kept for post-mortems), is not
+// re-read, no longer counts toward Len, and — because first-write-wins
+// keys on the live path — a fresh Put lands and is served again.
+func TestDiskQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logged string
+	s.Logf = func(format string, args ...any) { logged = fmt.Sprintf(format, args...) }
+
+	key := Key([]byte("rot"))
+	s.Put(key, []byte("garbage{{{"))
+	s.Quarantine(key, "invalid character '{'")
+
+	if _, ok := s.Get(key); ok {
+		t.Fatal("quarantined entry still readable")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after quarantine, want 0", s.Len())
+	}
+	bad := filepath.Join(dir, key[:2], key+".bad")
+	if blob, err := os.ReadFile(bad); err != nil || string(blob) != "garbage{{{" {
+		t.Fatalf("quarantined blob not preserved at %s: %v", bad, err)
+	}
+	if !strings.Contains(logged, key) || !strings.Contains(logged, "invalid character") {
+		t.Errorf("quarantine log line %q missing key or reason", logged)
+	}
+
+	// Recovery: a recomputed result replaces the slot.
+	s.Put(key, []byte("fresh"))
+	if got, ok := s.Get(key); !ok || string(got) != "fresh" {
+		t.Fatalf("recomputed entry not served: %q, %v", got, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d after recovery, want 1", s.Len())
+	}
+
+	// Quarantining a missing key is a no-op, not a crash.
+	s.Quarantine(Key([]byte("absent")), "whatever")
 }

@@ -12,8 +12,16 @@ import (
 // single directory grows unbounded. Writes go through a temp file and
 // an atomic rename, so a crashed or concurrent writer can never leave
 // a torn entry behind — readers see the whole blob or a miss.
+//
+// Entries are immutable (first write wins), which cuts both ways: a
+// blob that went bad on disk — bit rot, a truncating copy, a stray
+// editor — would otherwise be re-served forever. Quarantine breaks
+// that loop by renaming the entry aside so the next Get misses and a
+// fresh Put can land.
 type Disk struct {
 	root string
+	// Logf, when non-nil, receives one line per quarantined entry.
+	Logf func(format string, args ...any)
 	// mu serializes writers of the same key; cross-process safety comes
 	// from the rename, this only avoids redundant temp files in-process.
 	mu sync.Mutex
@@ -73,14 +81,32 @@ func (c *Disk) Put(key string, val []byte) {
 	_ = os.Rename(tmp.Name(), dst)
 }
 
-// Len walks the store and counts entries.
+// Quarantine moves the entry stored under key out of the way —
+// renaming it to <entry>.bad — so subsequent Gets miss and a later Put
+// stores a fresh blob. Callers invoke it when a Get returned bytes
+// that failed validation (torn JSON, wrong schema); the .bad file is
+// kept for post-mortems rather than deleted.
+func (c *Disk) Quarantine(key, reason string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	src := c.path(key)
+	if err := os.Rename(src, src+".bad"); err != nil {
+		return // already quarantined or evicted by another process
+	}
+	if c.Logf != nil {
+		c.Logf("cache: quarantined corrupt entry %s: %s", key, reason)
+	}
+}
+
+// Len walks the store and counts live entries; quarantined .bad files
+// and in-flight temp files don't count.
 func (c *Disk) Len() int {
 	n := 0
 	_ = filepath.WalkDir(c.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return nil
 		}
-		if !strings.HasPrefix(d.Name(), ".") {
+		if !strings.HasPrefix(d.Name(), ".") && !strings.HasSuffix(d.Name(), ".bad") {
 			n++
 		}
 		return nil

@@ -13,6 +13,7 @@ package device
 import (
 	"fmt"
 
+	"pciebench/internal/fault"
 	"pciebench/internal/rc"
 	"pciebench/internal/sim"
 )
@@ -134,6 +135,15 @@ type Engine struct {
 	pending  []pendingDone
 	freeList []int32
 
+	// Completion-timeout model (zero cto = disabled, the exact
+	// pre-fault path). A read whose completion would land more than
+	// cto after issue times out and re-issues with exponential
+	// backoff, aborting after ctoRetries attempts.
+	cto        sim.Time
+	ctoRetries int
+	ctoBackoff sim.Time
+	ctr        *fault.Counters
+
 	// Statistics.
 	Ops       uint64
 	Bytes     uint64
@@ -181,6 +191,20 @@ func New(k *sim.Kernel, path Path, cfg Config) (*Engine, error) {
 	}
 	return &Engine{k: k, rc: path, cfg: cfg, issue: sim.NewServer(k)}, nil
 }
+
+// SetFaults installs the completion-timeout model (cfg.CTO and
+// friends, already defaulted via WithDefaults) and the endpoint's
+// shared AER-style counter block.
+func (e *Engine) SetFaults(cfg fault.Config, ctr *fault.Counters) {
+	e.cto = cfg.CTO
+	e.ctoRetries = cfg.CTORetries
+	e.ctoBackoff = cfg.CTOBackoff
+	e.ctr = ctr
+}
+
+// FaultCounters returns the engine's counter block, or nil when no
+// fault model is installed.
+func (e *Engine) FaultCounters() *fault.Counters { return e.ctr }
 
 // Config returns the engine configuration.
 func (e *Engine) Config() Config { return e.cfg }
@@ -285,6 +309,35 @@ func (e *Engine) start(op Op) Completion {
 		c.Done = issued
 		e.finish(c, op)
 		return c
+	}
+	if e.cto > 0 {
+		// Completion timeout: a read whose last completion lands more
+		// than cto after issue is abandoned (its late completions are
+		// dropped — the link time is already spent) and re-issued
+		// after a capped exponential backoff.
+		backoff := e.ctoBackoff
+		for retries := 0; res.Complete-issued > e.cto; retries++ {
+			e.ctr.Timeouts++
+			if retries >= e.ctoRetries {
+				e.ctr.Fatal++
+				c.Err = fmt.Errorf("device: %s: DMA read of %d bytes aborted after %d completion timeouts", e.cfg.Name, op.Size, retries+1)
+				c.Done = issued + e.cto
+				e.finish(c, op)
+				return c
+			}
+			e.ctr.NonFatal++
+			issued += e.cto + backoff
+			if backoff < e.ctoBackoff<<fault.DefaultCTOBackoffCapShift {
+				backoff *= 2
+			}
+			res, err = e.rc.DMAReadOrdered(issued, op.DMA, op.Size, op.OrderAfter)
+			if err != nil {
+				c.Err = err
+				c.Done = issued
+				e.finish(c, op)
+				return c
+			}
+		}
 	}
 	c.Issued = issued
 	rx := sim.Time(e.cfg.RxPSPerByte * int64(op.Size))

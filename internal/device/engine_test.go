@@ -3,6 +3,7 @@ package device
 import (
 	"testing"
 
+	"pciebench/internal/fault"
 	"pciebench/internal/mem"
 	"pciebench/internal/pcie"
 	"pciebench/internal/rc"
@@ -221,5 +222,44 @@ func TestStagingAddsSizeDependentLatency(t *testing.T) {
 	}
 	if d2048 != 204800 {
 		t.Errorf("2048B staging delta = %v, want 204.8ns", d2048)
+	}
+}
+
+// TestCompletionTimeoutRetry covers the fault-injected completion
+// timeout paths: a generous CTO never fires; a CTO below the read's
+// round trip retries with exponential backoff and aborts after the
+// configured retry budget with a fatal AER-style count.
+func TestCompletionTimeoutRetry(t *testing.T) {
+	run := func(cto sim.Time, retries int) (Completion, *fault.Counters) {
+		k := sim.New(1)
+		e, err := New(k, testRC(t, k), testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctr := &fault.Counters{}
+		e.SetFaults(fault.Config{CTO: cto, CTORetries: retries, CTOBackoff: cto}.WithDefaults(), ctr)
+		var got Completion
+		e.Submit(Op{DMA: 0, Size: 64, OnDone: func(c Completion) { got = c }})
+		k.Run()
+		return got, ctr
+	}
+
+	// A 1ms CTO never fires on a sub-microsecond read.
+	ok, ctr := run(sim.Millisecond, 2)
+	if ok.Err != nil {
+		t.Fatal(ok.Err)
+	}
+	if !ctr.Zero() {
+		t.Errorf("generous CTO recorded events: %+v", *ctr)
+	}
+
+	// A 10ns CTO times out every attempt: retries+1 timeouts, then a
+	// fatal abort with a surfaced error.
+	bad, ctr := run(10*sim.Nanosecond, 2)
+	if bad.Err == nil {
+		t.Fatal("no error after exhausting completion-timeout retries")
+	}
+	if ctr.Timeouts != 3 || ctr.Fatal != 1 || ctr.NonFatal != 2 {
+		t.Errorf("counters: %+v", *ctr)
 	}
 }

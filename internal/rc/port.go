@@ -82,6 +82,11 @@ type Port struct {
 	payload []byte // tracer zero-payload buffer, reused across TLPs
 
 	stats *LinkStats
+
+	// flt, when non-nil, injects link faults (BER corruption/replay,
+	// retrain/degrade) into sendUp/sendDown; nil keeps the exact
+	// fault-free code path.
+	flt *linkFault
 }
 
 // AddPort attaches an endpoint port: below sw when sw is non-nil (sock
@@ -298,6 +303,9 @@ func (p *Port) jitter() sim.Time {
 // delay; below a switch, the TLP additionally crosses the arbitrated
 // shared uplink with cut-through forwarding and credit accounting.
 func (p *Port) sendUp(at, dur sim.Time, wire, payload int, pool dll.CreditType) (txDone, arrive sim.Time) {
+	if p.flt != nil {
+		at, dur = p.flt.adjust(p, p.up, at, wire, dur)
+	}
 	txDone = p.up.ScheduleAt(at, dur)
 	if p.sw == nil {
 		return txDone, txDone + p.cfg.WireDelay
@@ -313,6 +321,9 @@ func (p *Port) sendUp(at, dur sim.Time, wire, payload int, pool dll.CreditType) 
 // the endpoint link.
 func (p *Port) sendDown(at sim.Time, wire, payload int, pool dll.CreditType) sim.Time {
 	dur := p.bytesTime(wire)
+	if p.flt != nil {
+		at, dur = p.flt.adjust(p, p.down, at, wire, dur)
+	}
 	if p.sw == nil {
 		done := p.down.ScheduleAt(at, dur)
 		return done + p.cfg.WireDelay

@@ -9,7 +9,7 @@ import (
 	"pciebench/internal/sweep"
 )
 
-// Job states. A job moves queued -> running -> one of the three
+// Job states. A job moves queued -> running -> one of the four
 // terminal states.
 const (
 	StateQueued    = "queued"
@@ -17,11 +17,16 @@ const (
 	StateDone      = "done"
 	StateError     = "error"
 	StateCancelled = "cancelled"
+	StateTimeout   = "timeout"
 )
 
 // terminal reports whether a state is final.
 func terminal(state string) bool {
-	return state == StateDone || state == StateError || state == StateCancelled
+	switch state {
+	case StateDone, StateError, StateCancelled, StateTimeout:
+		return true
+	}
+	return false
 }
 
 // job is one submitted sweep: the spec, its execution state, and the
@@ -90,6 +95,11 @@ func (j *job) finish(res *sweep.Result, stats sweep.Stats, err error) {
 		switch {
 		case err == nil:
 			j.state = StateDone
+		case errors.Is(err, context.DeadlineExceeded):
+			// The per-job wall-clock deadline fired (Config.JobTimeout):
+			// distinct from a client cancel so callers can tell "you asked
+			// me to stop" from "I gave up".
+			j.state = StateTimeout
 		case errors.Is(err, context.Canceled):
 			j.state = StateCancelled
 		default:

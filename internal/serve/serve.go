@@ -41,6 +41,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -66,6 +67,13 @@ type Config struct {
 	Cache cache.Store
 	// Build partitions the cache by code version (see buildinfo).
 	Build string
+	// MaxBody bounds the request body of POST /v1/sweeps; oversized
+	// submissions get 413. 0 means 4 MiB.
+	MaxBody int64
+	// JobTimeout, when positive, is the wall-clock deadline for each
+	// job: a sweep still running after this long is cancelled and
+	// reported with status "timeout".
+	JobTimeout time.Duration
 	// Logf, when non-nil, receives one line per request and job
 	// transition.
 	Logf func(format string, args ...any)
@@ -168,8 +176,17 @@ type submitResponse struct {
 // handleSubmit accepts a Spec document (the versioned wire format) or
 // a {"run": name} envelope, applies overrides, and launches the job.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	maxBody := s.cfg.MaxBody
+	if maxBody <= 0 {
+		maxBody = 4 << 20
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
 	if err != nil {
+		if errors.As(err, new(*http.MaxBytesError)) {
+			apiError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", maxBody)
+			return
+		}
 		apiError(w, http.StatusBadRequest, "read body: %v", err)
 		return
 	}
@@ -205,6 +222,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	q := r.URL.Query()
 	overrides = append(overrides, q["set"]...)
+	// ?ber= is sugar for set=ber=...: fault injection is a first-class
+	// what-if axis, so it gets a dedicated query parameter.
+	if ber := q.Get("ber"); ber != "" {
+		if _, err := sweep.ParseBER(ber); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		overrides = append(overrides, "ber="+ber)
+	}
 	if err := spec.ApplyOverrides(overrides); err != nil {
 		apiError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -270,7 +296,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // launch registers a job and starts its goroutine, bounded by the
 // concurrent-jobs semaphore.
 func (s *Server) launch(spec *sweep.Spec, workers, simWorkers int, quality sweep.Quality) *job {
-	ctx, cancel := context.WithCancel(s.ctx)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.JobTimeout > 0 {
+		// The deadline clock starts at submission, not dispatch: a job
+		// stuck behind the semaphore burns its budget queueing, which is
+		// the behaviour a caller with a wall-clock SLO wants.
+		ctx, cancel = context.WithTimeout(s.ctx, s.cfg.JobTimeout)
+	} else {
+		ctx, cancel = context.WithCancel(s.ctx)
+	}
 
 	s.mu.Lock()
 	s.nextID++
@@ -423,6 +458,9 @@ func (s *Server) handleResults(w http.ResponseWriter, r *http.Request) {
 	switch state {
 	case StateCancelled:
 		apiError(w, http.StatusConflict, "sweep %s was cancelled", j.id)
+		return
+	case StateTimeout:
+		apiError(w, http.StatusGatewayTimeout, "sweep %s exceeded the job deadline", j.id)
 		return
 	case StateError:
 		_, _, _, jerr, _ := j.snapshot()

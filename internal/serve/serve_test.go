@@ -444,3 +444,74 @@ func TestJobList(t *testing.T) {
 		}
 	}
 }
+
+// TestMaxBodyLimit: an oversized submission gets a clear 413, and the
+// configured limit does not reject bodies under it.
+func TestMaxBodyLimit(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBody: 1024})
+
+	big := `{"run": "pad", "overrides": ["` + strings.Repeat("x", 2048) + `"]}`
+	resp, err := http.Post(ts.URL+"/v1/sweeps", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: %d %s (want 413)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "1024") {
+		t.Errorf("413 body %s does not name the limit", raw)
+	}
+
+	sub := submit(t, ts, testSpec, "")
+	waitState(t, ts, sub.ID, StateDone)
+}
+
+// TestJobTimeout: a job that overruns the configured wall-clock
+// deadline is cancelled, reported with the dedicated "timeout" state
+// (distinct from a client cancel), and its results answer 504.
+func TestJobTimeout(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: 100 * time.Millisecond})
+
+	sub := submit(t, ts, slowSpec, "")
+	st := waitState(t, ts, sub.ID, StateTimeout)
+	if st.State != StateTimeout {
+		t.Fatalf("state %q, want %q", st.State, StateTimeout)
+	}
+	resp, err := http.Get(ts.URL + "/v1/sweeps/" + sub.ID + "/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("results of timed-out job: %d, want 504", resp.StatusCode)
+	}
+
+	// A job that fits the deadline is untouched by it.
+	ok := submit(t, ts, testSpec, "")
+	waitState(t, ts, ok.ID, StateDone)
+}
+
+// TestBerQueryParameter: ?ber= is validated sugar for set=ber=..., the
+// fault-injection what-if axis of the serving surface.
+func TestBerQueryParameter(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	sub := submit(t, ts, testSpec, "?ber=1e-6")
+	waitState(t, ts, sub.ID, StateDone)
+
+	resp, err := http.Post(ts.URL+"/v1/sweeps?ber=2", "application/json", strings.NewReader(testSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ber=2: %d %s (want 400)", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), "bit error rate") {
+		t.Errorf("400 body %s does not explain the bad BER", raw)
+	}
+}

@@ -172,6 +172,11 @@ func (e *Engine) Run(ctx context.Context, s *Spec) (*Result, Stats, error) {
 					ready[c.Index] = true
 					stats.Hits++
 					continue
+				} else if q, ok := e.Cache.(interface{ Quarantine(key, reason string) }); ok {
+					// Stores that can (the disk cache) move the corrupt
+					// blob aside, so it is recomputed once — not re-read
+					// and re-rejected on every future run.
+					q.Quarantine(key, err.Error())
 				}
 				// A corrupt entry is just a miss; recompute below.
 			}

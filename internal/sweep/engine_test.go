@@ -256,3 +256,39 @@ func TestEngineCorruptCacheEntry(t *testing.T) {
 		t.Error("corrupt-entry run diverged from uncached run")
 	}
 }
+
+// TestEngineQuarantinesCorruptEntry: with a store that supports
+// quarantine (the disk cache), a corrupt blob is moved aside during
+// the run, so the recomputed result lands in its slot and the next run
+// is a clean cache hit rather than a repeat decode failure.
+func TestEngineQuarantinesCorruptEntry(t *testing.T) {
+	store, err := cache.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := &Engine{Cache: store, Build: "test"}
+	s := engineSpec()
+	key, err := e.cellKey(s, s.Cells()[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Put(key, []byte("not json"))
+
+	if _, stats, err := e.Run(context.Background(), s); err != nil {
+		t.Fatal(err)
+	} else if stats.Executed != 4 {
+		t.Fatalf("corrupt entry should recompute: %+v", stats)
+	}
+	blob, ok := store.Get(key)
+	if !ok {
+		t.Fatal("recomputed cell not stored after quarantine")
+	}
+	if string(blob) == "not json" {
+		t.Fatal("corrupt blob still live in the store")
+	}
+	if _, stats, err := e.Run(context.Background(), engineSpec()); err != nil {
+		t.Fatal(err)
+	} else if stats.Hits != 4 {
+		t.Fatalf("second run should hit all cells: %+v", stats)
+	}
+}

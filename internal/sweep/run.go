@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"pciebench/internal/bench"
+	"pciebench/internal/fault"
 	"pciebench/internal/nicsim"
 	"pciebench/internal/runner"
 	"pciebench/internal/stats"
@@ -30,6 +31,10 @@ type Measurement struct {
 	// EndpointPPS holds the per-endpoint packet-pair rates of a
 	// multi-endpoint workload cell (one entry on the degenerate form).
 	EndpointPPS []float64
+	// Faults holds each endpoint's fault accounting after the run;
+	// nil when fault injection is disabled. On a shared instance the
+	// counters are cumulative since the instance was built.
+	Faults []fault.Counters
 }
 
 // Value extracts a metric from the measurement.
@@ -66,7 +71,34 @@ func (m Measurement) Value(metric string) float64 {
 		}
 		return 0
 	}
+	switch metric {
+	case MetricReplays, MetricTimeouts, MetricRetrains:
+		var n float64
+		for i := range m.Faults {
+			n += faultCount(m.Faults[i], metric)
+		}
+		return n
+	}
+	if base, i, ok := faultMetricIndex(metric); ok {
+		if i < len(m.Faults) {
+			return faultCount(m.Faults[i], base)
+		}
+		return 0
+	}
 	return m.Median
+}
+
+// faultCount extracts one counter from a block by base metric name.
+func faultCount(c fault.Counters, base string) float64 {
+	switch base {
+	case MetricReplays:
+		return float64(c.Replays)
+	case MetricTimeouts:
+		return float64(c.Timeouts)
+	case MetricRetrains:
+		return float64(c.Retrains)
+	}
+	return 0
 }
 
 func minFloat(vals []float64) float64 {
@@ -264,7 +296,17 @@ func measure(cfg Config, shared *sysconf.Instance, wantCDF bool, simWorkers int)
 			return Measurement{}, err
 		}
 	}
+	m, err := measureInstance(inst, cfg, wantCDF)
+	if err != nil {
+		return Measurement{}, err
+	}
+	m.Faults = faultSnapshot(inst.Fabric)
+	return m, nil
+}
 
+// measureInstance runs the single-endpoint benchmark kinds against an
+// assembled instance.
+func measureInstance(inst *sysconf.Instance, cfg Config, wantCDF bool) (Measurement, error) {
 	if cfg.Bench == BenchLoopback {
 		return measureLoopback(inst, cfg)
 	}
@@ -360,6 +402,7 @@ func measureFabric(cfg Config, simWorkers int) (Measurement, error) {
 			Median:  res.Latency.Median,
 			Gbps:    res.Gbps,
 			Summary: res.Latency,
+			Faults:  faultSnapshot(fab),
 		}, nil
 	}
 	wl := cfg.Workload
@@ -382,7 +425,24 @@ func measureFabric(cfg Config, simWorkers int) (Measurement, error) {
 	for _, q := range res.Endpoints[0].Queues {
 		m.QueuePPS = append(m.QueuePPS, q.PPS)
 	}
+	m.Faults = faultSnapshot(fab)
 	return m, nil
+}
+
+// faultSnapshot copies the fabric's per-endpoint fault counters; nil
+// when fault injection is disabled, so fault-free measurements (and
+// their cached JSON encodings) are unchanged.
+func faultSnapshot(fab *topo.Fabric) []fault.Counters {
+	if fab == nil || !fab.Spec.Faults.Enabled() {
+		return nil
+	}
+	out := make([]fault.Counters, len(fab.Endpoints))
+	for i, ep := range fab.Endpoints {
+		if ep.Faults != nil {
+			out[i] = *ep.Faults
+		}
+	}
+	return out
 }
 
 // measureLoopback replays the paper's Figure 2 setup: an ExaNIC-style

@@ -38,7 +38,9 @@ import (
 	"strings"
 
 	"pciebench/internal/bench"
+	"pciebench/internal/fault"
 	"pciebench/internal/pcie"
+	"pciebench/internal/sim"
 	"pciebench/internal/sysconf"
 	"pciebench/internal/topo"
 	"pciebench/internal/workload"
@@ -78,6 +80,13 @@ const (
 	// bandwidth-partitioning fairness of a shared uplink.
 	MetricEPPSMin = "eppsmin"
 	MetricEPPSMax = "eppsmax"
+	// MetricReplays/Timeouts/Retrains are the fault-injection event
+	// counts summed over endpoints (see internal/fault); the indexed
+	// forms "replays<i>"/"timeouts<i>"/"retrains<i>" name endpoint
+	// i's count.
+	MetricReplays  = "replays"
+	MetricTimeouts = "timeouts"
+	MetricRetrains = "retrains"
 )
 
 // queuePPSIndex parses the dynamic "qpps<i>" metric naming queue i's
@@ -104,18 +113,34 @@ func indexedMetric(metric, prefix string) (int, bool) {
 	return i, true
 }
 
+// faultMetricIndex parses the dynamic per-endpoint fault metrics
+// ("replays<i>", "timeouts<i>", "retrains<i>"), returning the base
+// metric name and the endpoint index.
+func faultMetricIndex(metric string) (base string, ep int, ok bool) {
+	for _, b := range []string{MetricReplays, MetricTimeouts, MetricRetrains} {
+		if i, match := indexedMetric(metric, b); match {
+			return b, i, true
+		}
+	}
+	return "", 0, false
+}
+
 // validMetric reports whether a probe metric name is known.
 func validMetric(m string) bool {
 	switch m {
 	case "", MetricMedian, MetricGbps, MetricFrac, MetricCDF,
 		MetricPPS, MetricP50, MetricP99, MetricP999,
-		MetricEPPSMin, MetricEPPSMax:
+		MetricEPPSMin, MetricEPPSMax,
+		MetricReplays, MetricTimeouts, MetricRetrains:
 		return true
 	}
 	if _, ok := queuePPSIndex(m); ok {
 		return true
 	}
-	_, ok := endpointPPSIndex(m)
+	if _, ok := endpointPPSIndex(m); ok {
+		return true
+	}
+	_, _, ok := faultMetricIndex(m)
 	return ok
 }
 
@@ -303,6 +328,41 @@ func ParseSize(s string) (int, error) {
 	return v * mult, nil
 }
 
+// ParseDuration parses a simulated duration: a decimal number with an
+// optional ps/ns/us/ms/s suffix (a bare number means nanoseconds).
+// Used by the fault keys (cto=, retrain=) and the CLI fault flags.
+func ParseDuration(s string) (sim.Time, error) {
+	t := strings.TrimSpace(s)
+	unit := sim.Nanosecond
+	switch {
+	case strings.HasSuffix(t, "ps"):
+		unit, t = sim.Picosecond, strings.TrimSuffix(t, "ps")
+	case strings.HasSuffix(t, "ns"):
+		unit, t = sim.Nanosecond, strings.TrimSuffix(t, "ns")
+	case strings.HasSuffix(t, "us"):
+		unit, t = sim.Microsecond, strings.TrimSuffix(t, "us")
+	case strings.HasSuffix(t, "ms"):
+		unit, t = sim.Millisecond, strings.TrimSuffix(t, "ms")
+	case strings.HasSuffix(t, "s"):
+		unit, t = sim.Second, strings.TrimSuffix(t, "s")
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(t), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("sweep: bad duration %q", s)
+	}
+	return sim.Time(v * float64(unit)), nil
+}
+
+// ParseBER parses a link bit error rate: a float in [0, 1). Used by
+// the ber= fault key and the CLI fault flags.
+func ParseBER(s string) (float64, error) {
+	b, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || b < 0 || b >= 1 {
+		return 0, fmt.Errorf("sweep: bit error rate %q outside [0, 1)", s)
+	}
+	return b, nil
+}
+
 func parseBool(s string) (bool, error) {
 	switch strings.ToLower(strings.TrimSpace(s)) {
 	case "true", "on", "1", "yes":
@@ -320,8 +380,9 @@ var (
 	// systemKeys configure the simulator instance (sysconf.Options and
 	// the link) and apply to every benchmark kind.
 	systemKeys = []string{
-		"bench", "buffer", "gen", "iommu", "lanes", "mps", "mrrs", "n",
-		"node", "nojitter", "seed", "sp", "system", "warmup",
+		"bench", "ber", "buffer", "cto", "gen", "iommu", "lanes", "mps",
+		"mrrs", "n", "node", "nojitter", "retrain", "seed", "sp",
+		"system", "warmup",
 	}
 	// microKeys are the pcie-bench micro-benchmark parameters
 	// (bench.Params) of the latency/bandwidth/loopback kinds.
@@ -407,6 +468,7 @@ var optLevelKeys = map[string]bool{
 	"gen": true, "lanes": true, "mps": true, "mrrs": true,
 	"endpoints": true, "switch": true, "socket": true, "p2p": true,
 	"buffers": true,
+	"ber":     true, "cto": true, "retrain": true,
 }
 
 // resolveConfig turns a merged key/value assignment into an executable
@@ -422,6 +484,15 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			link = &l
 		}
 		return link
+	}
+	// Faults stay nil unless a fault key arms a non-zero knob, so
+	// ber=0 cells build the exact fault-free instance.
+	var faults *fault.Config
+	ensureFaults := func() *fault.Config {
+		if faults == nil {
+			faults = &fault.Config{}
+		}
+		return faults
 	}
 
 	keys := make([]string, 0, len(kv))
@@ -482,6 +553,21 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			cfg.Opt.SuperPages, err = parseBool(v)
 		case "nojitter":
 			cfg.Opt.NoJitter, err = parseBool(v)
+		case "ber":
+			var b float64
+			if b, err = ParseBER(v); err == nil && b > 0 {
+				ensureFaults().BER = b
+			}
+		case "cto":
+			var d sim.Time
+			if d, err = ParseDuration(v); err == nil && d > 0 {
+				ensureFaults().CTO = d
+			}
+		case "retrain":
+			var d sim.Time
+			if d, err = ParseDuration(v); err == nil && d > 0 {
+				ensureFaults().RetrainMTBF = d
+			}
 		case "buffer":
 			cfg.Opt.BufferSize, err = ParseSize(v)
 		case "seed":
@@ -575,6 +661,7 @@ func resolveConfig(kv map[string]string) (Config, error) {
 		}
 		cfg.Opt.Link = link
 	}
+	cfg.Opt.Faults = faults
 	sys, err := sysconf.ByName(cfg.System)
 	if err != nil {
 		return Config{}, err

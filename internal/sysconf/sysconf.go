@@ -15,6 +15,7 @@ import (
 	"pciebench/internal/device"
 	"pciebench/internal/device/netfpga"
 	"pciebench/internal/device/nfp"
+	"pciebench/internal/fault"
 	"pciebench/internal/hostif"
 	"pciebench/internal/iommu"
 	"pciebench/internal/mem"
@@ -201,6 +202,11 @@ type Options struct {
 	// byte-identical at every value; parallelism only materializes when
 	// the topology splits into independent endpoint islands.
 	SimWorkers int
+	// Faults arms deterministic fault injection (BER corruption and
+	// replay, completion timeouts, link retrains — see internal/fault)
+	// on every endpoint; nil or all-zero keeps the exact fault-free
+	// code path.
+	Faults *fault.Config
 }
 
 // Instance is an assembled system ready to run benchmarks. It is the
@@ -279,6 +285,7 @@ func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
 		Seed:       opt.Seed,
 		Mem:        s.memConfig(),
 		SimWorkers: opt.SimWorkers,
+		Faults:     opt.Faults,
 	}
 	if opt.IOMMU {
 		cfg := iommu.DefaultConfig()

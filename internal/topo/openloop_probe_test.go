@@ -9,6 +9,46 @@ import (
 	"pciebench/internal/workload"
 )
 
+// Regression for the PR 8 open-loop caveat: coupled fabrics driven by
+// the textual open-loop arrival forms ("poisson:", "rate:") must stay
+// byte-identical to the serial build at every simulation worker count,
+// including a count (7) that does not divide the endpoint count.
+func TestOpenLoopCoupledArrivalIdentity(t *testing.T) {
+	for _, spec := range []string{"poisson:2M:burst=4", "rate:2M:burst=4"} {
+		arr, err := workload.ParseArrival(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := workload.Config{Seed: 11, BufferBytes: 1 << 20, Arrival: arr, Queues: 2}
+		build := func(w int) *topo.Fabric {
+			sys, err := sysconf.ByName("NFP6000-BDW")
+			if err != nil {
+				t.Fatal(err)
+			}
+			fab, err := sys.Fabric(topo.Shape{Endpoints: 4}, sysconf.Options{
+				Seed: 7, BufferSize: 1 << 20, SimWorkers: w,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return fab
+		}
+		ref, err := topo.RunWorkload(build(1), cfg, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, 7} {
+			res, err := topo.RunWorkload(build(w), cfg, 120)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ref, res) {
+				t.Errorf("arrival %q simworkers=%d diverged from serial", spec, w)
+			}
+		}
+	}
+}
+
 // Probe: open-loop (Poisson) coupled fabric, serial vs linked builds.
 func TestProbeOpenLoopCoupled(t *testing.T) {
 	arr, err := workload.Poisson(2e6, 4)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 
 	"pciebench/internal/device"
+	"pciebench/internal/fault"
 	"pciebench/internal/hostif"
 	"pciebench/internal/iommu"
 	"pciebench/internal/mem"
@@ -127,6 +128,13 @@ type Spec struct {
 	// traffic through a hub at window barriers. Results are
 	// byte-identical either way.
 	SimWorkers int
+	// Faults, when enabled, arms deterministic fault injection on
+	// every endpoint: BER-driven link corruption/replay, completion
+	// timeouts, and retrain events (see internal/fault). Streams are
+	// keyed by (spec seed, global endpoint index, fault class), so
+	// results stay byte-identical at every SimWorkers count. Nil or
+	// all-zero installs nothing at all.
+	Faults *fault.Config
 }
 
 // Validate reports structural errors: missing pieces and out-of-range
@@ -169,6 +177,9 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("topo: peer pair %d pairs endpoint %d with itself", i, pr[0])
 		}
 	}
+	if err := s.Faults.Validate(); err != nil {
+		return fmt.Errorf("topo: %w", err)
+	}
 	return nil
 }
 
@@ -179,6 +190,9 @@ type Endpoint struct {
 	Port   *rc.Port
 	Engine *device.Engine
 	Buffer *hostif.Buffer
+	// Faults is the endpoint's AER-style counter block, shared by its
+	// port and engine; nil when fault injection is disabled.
+	Faults *fault.Counters
 }
 
 // CoupledGroup describes one multi-endpoint island of a linked build:
@@ -293,7 +307,24 @@ func addEndpoint(f *Fabric, router *rc.RootComplex, k *sim.Kernel, i int, es End
 	if name == "" {
 		name = fmt.Sprintf("ep%d", i)
 	}
-	f.Endpoints = append(f.Endpoints, &Endpoint{Name: name, Port: port, Engine: eng, Buffer: buf})
+	ep := &Endpoint{Name: name, Port: port, Engine: eng, Buffer: buf}
+	if f.Spec.Faults.Enabled() {
+		// Streams key on (resolved seed, global endpoint index, class),
+		// so serial and linked builds — which both reach here in spec
+		// order with the same i — arm identical fault sequences.
+		seed := f.Spec.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		fc := f.Spec.Faults.WithDefaults()
+		ep.Faults = &fault.Counters{}
+		port.InstallFaults(fc,
+			fault.NewStream(seed, i, fault.ClassLink),
+			fault.NewStream(seed, i, fault.ClassRetrain),
+			ep.Faults)
+		eng.SetFaults(fc, ep.Faults)
+	}
+	f.Endpoints = append(f.Endpoints, ep)
 	f.epKernel = append(f.epKernel, k)
 	return nil
 }

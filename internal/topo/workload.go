@@ -1,6 +1,7 @@
 package topo
 
 import (
+	"pciebench/internal/fault"
 	"pciebench/internal/sim"
 	"pciebench/internal/workload"
 )
@@ -27,6 +28,8 @@ func RunWorkload(f *Fabric, cfg workload.Config, pairsEach int) (*workload.Multi
 		bases[i] = ep.Buffer.DMAAddr(0)
 		kernels[i] = f.EndpointKernel(i)
 	}
+	var res *workload.MultiResult
+	var err error
 	if len(f.Coupled) > 0 {
 		groups := make([]workload.Coupled, len(f.Coupled))
 		for gi, g := range f.Coupled {
@@ -36,7 +39,33 @@ func RunWorkload(f *Fabric, cfg workload.Config, pairsEach int) (*workload.Multi
 				Endpoints: g.Endpoints,
 			}
 		}
-		return workload.RunMultiCoupled(kernels, groups, paths, bases, cfg, pairsEach, f.SimWorkers())
+		res, err = workload.RunMultiCoupled(kernels, groups, paths, bases, cfg, pairsEach, f.SimWorkers())
+	} else {
+		res, err = workload.RunMultiKernels(kernels, paths, bases, cfg, pairsEach, f.SimWorkers())
 	}
-	return workload.RunMultiKernels(kernels, paths, bases, cfg, pairsEach, f.SimWorkers())
+	if err == nil {
+		attachFaults(f, res)
+	}
+	return res, err
+}
+
+// attachFaults snapshots each endpoint's fault counters into the
+// result (and their sum into the aggregate). Fault-free fabrics have
+// no counter blocks, so the result is untouched — and its JSON stays
+// byte-identical to the pre-fault encoding.
+func attachFaults(f *Fabric, res *workload.MultiResult) {
+	if !f.Spec.Faults.Enabled() {
+		return
+	}
+	agg := &fault.Counters{}
+	for i := range res.Endpoints {
+		ep := f.Endpoints[res.Endpoints[i].Endpoint]
+		if ep.Faults == nil {
+			continue
+		}
+		c := *ep.Faults
+		res.Endpoints[i].Faults = &c
+		agg.Add(c)
+	}
+	res.Faults = agg
 }

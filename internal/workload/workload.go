@@ -31,6 +31,7 @@ import (
 	"sort"
 	"sync"
 
+	"pciebench/internal/fault"
 	"pciebench/internal/model"
 	"pciebench/internal/rc"
 	"pciebench/internal/runner"
@@ -746,6 +747,9 @@ func Run(k *sim.Kernel, complex *rc.RootComplex, bufDMA uint64, cfg Config, pair
 type EndpointResult struct {
 	// Endpoint indexes the path the traffic ran on.
 	Endpoint int `json:"endpoint"`
+	// Faults is the endpoint's AER-style fault accounting; omitted
+	// when fault injection is disabled (see internal/fault).
+	Faults *fault.Counters `json:"faults,omitempty"`
 	Result
 }
 
@@ -761,6 +765,9 @@ type MultiResult struct {
 	GbpsPerDirection float64 `json:"gbps"`
 	// Latency summarizes completion latency across every endpoint.
 	Latency stats.Summary `json:"latency_ns"`
+	// Faults aggregates every endpoint's fault accounting; omitted
+	// when fault injection is disabled.
+	Faults *fault.Counters `json:"faults,omitempty"`
 	// Endpoints holds the per-endpoint breakdown.
 	Endpoints []EndpointResult `json:"endpoints"`
 }
