@@ -551,6 +551,95 @@ func BenchmarkFabricCoupledParallel(b *testing.B) {
 	b.Run("64ep", func(b *testing.B) { benchFabricCoupled(b, 64, 4, 60) })
 }
 
+// BenchmarkIOMMUTranslate pins the translation hot path at zero
+// allocations per op: sorted-mapping binary search, IO-TLB index hit
+// with an intrusive-LRU touch, and the miss path through the walker
+// pool with a tail eviction.
+func BenchmarkIOMMUTranslate(b *testing.B) {
+	const (
+		window = 16 << 20
+		iova   = uint64(1) << 40
+	)
+	build := func(b *testing.B) *iommu.IOMMU {
+		b.Helper()
+		u := iommu.New(sim.New(1), iommu.DefaultConfig())
+		for off := 0; off < window; off += 4 << 20 {
+			if err := u.Map(iova+uint64(off), 1<<30+uint64(off), 4<<20, iommu.Page4K); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return u
+	}
+	b.Run("hit", func(b *testing.B) {
+		u := build(b)
+		if _, err := u.Translate(0, iova); err != nil { // prime the entry
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Translate(0, iova); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("miss", func(b *testing.B) {
+		u := build(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		// Stride 4K pages across a window far beyond the 64-entry
+		// IO-TLB, so every translation misses and evicts the LRU tail.
+		var off uint64
+		for i := 0; i < b.N; i++ {
+			if _, err := u.Translate(0, iova+off); err != nil {
+				b.Fatal(err)
+			}
+			off = (off + iommu.Page4K) % window
+		}
+	})
+}
+
+// benchFabricIOMMU drives the split fabric with every DMA translated:
+// per-socket scope gives each socket its own DRHD-style unit, so the
+// fabric still partitions into islands and the serial/parallel delta
+// isolates the coordinator overhead with translation in the hot path.
+func benchFabricIOMMU(b *testing.B, endpoints, simWorkers, pairs int) {
+	b.ReportAllocs()
+	var pps float64
+	for i := 0; i < b.N; i++ {
+		spec := fabricSpec(b, endpoints, simWorkers)
+		cfg := iommu.DefaultConfig()
+		spec.IOMMU = &cfg
+		spec.IOMMUScope = topo.IOMMUScopePerSocket
+		fab, err := topo.Build(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := topo.RunWorkload(fab, workload.Config{Seed: 37, BufferBytes: 1 << 20}, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pps = res.PPS
+	}
+	b.ReportMetric(pps/1e6, "Mpps")
+	b.ReportMetric(float64(endpoints), "endpoints")
+}
+
+// BenchmarkFabricIOMMUSerial is the translated reference: per-socket
+// units on the single shared event kernel.
+func BenchmarkFabricIOMMUSerial(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabricIOMMU(b, 8, 1, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabricIOMMU(b, 64, 1, 60) })
+}
+
+// BenchmarkFabricIOMMUParallel partitions the same translated fabrics
+// (simworkers=4): each island's unit binds to that island's kernel, and
+// results stay byte-identical to the serial runs.
+func BenchmarkFabricIOMMUParallel(b *testing.B) {
+	b.Run("8ep", func(b *testing.B) { benchFabricIOMMU(b, 8, 4, 400) })
+	b.Run("64ep", func(b *testing.B) { benchFabricIOMMU(b, 64, 4, 60) })
+}
+
 // BenchmarkTopo_P2P compares device-to-device DMA against the bounce
 // through host DRAM (512B transfers) and reports both medians.
 func BenchmarkTopo_P2P(b *testing.B) {

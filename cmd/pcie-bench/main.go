@@ -89,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		n          = fs.Int("n", 10000, "measured transactions")
 		node       = fs.Int("node", 0, "NUMA node for the host buffer")
 		iommuOn    = fs.Bool("iommu", false, "enable the IOMMU (4KB mappings)")
+		iommuScope = fs.String("iommu-scope", "", "IOMMU translation-unit scope: global (default) or per-socket")
 		sp         = fs.Bool("sp", false, "use superpage IOMMU mappings")
 		direct     = fs.Bool("direct", false, "use the device's direct command interface")
 		seed       = fs.Int64("seed", 1, "simulation seed")
@@ -206,7 +207,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		// not comparable with reports generated by the old shared-
 		// instance sequential runner, only with other parallel runs.)
 		factory := func(seed int64) (*bench.Target, error) {
-			inst, err := sys.Build(sysconf.Options{Seed: seed, IOMMU: *iommuOn, SuperPages: *sp})
+			inst, err := sys.Build(sysconf.Options{Seed: seed, IOMMU: *iommuOn, IOMMUScope: *iommuScope, SuperPages: *sp})
 			if err != nil {
 				return nil, err
 			}
@@ -241,6 +242,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	opts := sysconf.Options{
 		Seed:       *seed,
 		IOMMU:      *iommuOn,
+		IOMMUScope: *iommuScope,
 		SuperPages: *sp,
 		BufferNode: *node,
 		NoJitter:   *noJitter,

@@ -88,9 +88,10 @@ const nodePABase = uint64(16) << 30 // 16GB of PA space per node
 // control programs that pick NUMA nodes and warm caches.
 type Host struct {
 	ms       *mem.System
-	mmu      *iommu.IOMMU // nil when the IOMMU is disabled
+	mmu      *iommu.IOMMU   // default translation unit; nil when disabled
+	units    []*iommu.IOMMU // every attached unit (Thrash invalidates all)
 	nextPA   []uint64
-	nextIOVA uint64
+	nextIOVA uint64 // shared across units: DMA layout is scope-independent
 }
 
 // New builds a Host over a memory system, optionally with an IOMMU in
@@ -98,6 +99,9 @@ type Host struct {
 func New(ms *mem.System, mmu *iommu.IOMMU) *Host {
 	nodes := ms.Config().Nodes
 	h := &Host{ms: ms, mmu: mmu, nextPA: make([]uint64, nodes), nextIOVA: 1 << 40}
+	if mmu != nil {
+		h.units = append(h.units, mmu)
+	}
 	for n := range h.nextPA {
 		h.nextPA[n] = uint64(n+1) * nodePABase
 	}
@@ -107,8 +111,17 @@ func New(ms *mem.System, mmu *iommu.IOMMU) *Host {
 // MemSystem returns the attached memory system.
 func (h *Host) MemSystem() *mem.System { return h.ms }
 
-// IOMMU returns the attached IOMMU, or nil.
+// IOMMU returns the default attached IOMMU, or nil.
 func (h *Host) IOMMU() *iommu.IOMMU { return h.mmu }
+
+// AttachIOMMU registers an additional translation unit (a per-socket
+// DRHD) so Thrash invalidates its IO-TLB along with every other unit.
+// Buffers map into a specific unit via AllocIn.
+func (h *Host) AttachIOMMU(u *iommu.IOMMU) {
+	if u != nil {
+		h.units = append(h.units, u)
+	}
+}
 
 // HomeOf returns the NUMA node owning physical address pa.
 func (h *Host) HomeOf(pa uint64) int {
@@ -133,14 +146,25 @@ type Buffer struct {
 	Node   int
 	Mode   AllocMode
 	host   *Host
+	mmu    *iommu.IOMMU // unit the buffer is mapped into (nil = untranslated)
 	chunks []chunk
 }
 
-// Alloc allocates a DMA buffer of size bytes on the given NUMA node.
+// Alloc allocates a DMA buffer of size bytes on the given NUMA node,
+// mapped through the host's default IOMMU when one is attached.
 // mapPage selects the IOMMU mapping granularity: 0 uses the mode's
 // natural page size; iommu.Page4K forces 4 KB entries (the paper's
 // sp_off); it is ignored when no IOMMU is attached.
 func (h *Host) Alloc(size int, node int, mode AllocMode, mapPage int) (*Buffer, error) {
+	return h.AllocIn(h.mmu, size, node, mode, mapPage)
+}
+
+// AllocIn is Alloc with an explicit translation unit: per-socket-scoped
+// fabrics map each buffer into the unit of the socket whose root ports
+// will ingest its DMA. A nil unit allocates untranslated. All units
+// draw IOVAs from one shared allocator, so the device-visible address
+// layout does not depend on the IOMMU scope.
+func (h *Host) AllocIn(unit *iommu.IOMMU, size int, node int, mode AllocMode, mapPage int) (*Buffer, error) {
 	if size <= 0 {
 		return nil, ErrBadSize
 	}
@@ -151,7 +175,7 @@ func (h *Host) Alloc(size int, node int, mode AllocMode, mapPage int) (*Buffer, 
 		mapPage = mode.naturalPage()
 	}
 	cs := mode.chunkSize()
-	b := &Buffer{Size: size, Node: node, Mode: mode, host: h}
+	b := &Buffer{Size: size, Node: node, Mode: mode, host: h, mmu: unit}
 
 	remaining := size
 	for remaining > 0 {
@@ -166,11 +190,11 @@ func (h *Host) Alloc(size int, node int, mode AllocMode, mapPage int) (*Buffer, 
 		h.nextPA[node] = pa + uint64(cs) + uint64(cs) // gap of one chunk
 
 		var dma uint64
-		if h.mmu != nil {
+		if unit != nil {
 			// Map into the contiguous IOVA range.
 			iova := alignUp(h.nextIOVA, uint64(mapPage))
 			mapped := alignUpInt(n, mapPage)
-			if err := h.mmu.Map(iova, pa, mapped, mapPage); err != nil {
+			if err := unit.Map(iova, pa, mapped, mapPage); err != nil {
 				return nil, fmt.Errorf("hostif: iommu map: %w", err)
 			}
 			h.nextIOVA = iova + uint64(mapped)
@@ -191,11 +215,11 @@ func alignUpInt(v, a int) int { return (v + a - 1) / a * a }
 // Free releases the buffer's IOMMU mappings (physical memory is a
 // simulation abstraction and needs no release).
 func (b *Buffer) Free() error {
-	if b.host.mmu == nil {
+	if b.mmu == nil {
 		return nil
 	}
 	for _, c := range b.chunks {
-		if err := b.host.mmu.Unmap(c.dma); err != nil {
+		if err := b.mmu.Unmap(c.dma); err != nil {
 			return err
 		}
 	}
@@ -269,7 +293,7 @@ func (b *Buffer) forRange(off, size int, fn func(pa uint64, n int)) {
 // before each benchmark.
 func (h *Host) Thrash() {
 	h.ms.Thrash()
-	if h.mmu != nil {
-		h.mmu.InvalidateAll()
+	for _, u := range h.units {
+		u.InvalidateAll()
 	}
 }

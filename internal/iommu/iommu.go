@@ -15,6 +15,17 @@
 // co-locating DMA buffers in superpages. The paper's experiments disable
 // it (`sp_off`) to force 4 KB granularity; that choice is made by the
 // driver layer (internal/hostif) when it maps the buffer.
+//
+// A host may expose several units — VT-d enumerates one DRHD per
+// socket — so a fabric can carry one IOMMU per socket, each with its
+// own IO-TLB, walker pool and counters (see internal/topo's IOMMU
+// scope). Translate sits on every DMA's critical path, so both lookup
+// structures are allocation-free in steady state: mappings are kept
+// sorted by IOVA and found by binary search, and the IO-TLB is a fixed
+// entry arena threaded onto an intrusive LRU list with a hash index,
+// replacing the former linear scans. Eviction order is bit-identical
+// to the old min-use-clock sweep: the list tail is exactly the entry
+// with the smallest use stamp.
 package iommu
 
 import (
@@ -72,20 +83,30 @@ type mapping struct {
 	pageSize uint64
 }
 
-type tlbEntry struct {
+// tlbKey identifies one IO-TLB entry: the covering page and its size.
+type tlbKey struct {
 	pageBase uint64 // IOVA base of the covering page
 	pageSize uint64
-	pa       uint64 // PA base of the covering page
-	use      uint64
+}
+
+// tlbEntry is one arena slot; prev/next thread the intrusive LRU list
+// (head = most recently used, tail = eviction victim; -1 terminates).
+type tlbEntry struct {
+	key        tlbKey
+	pa         uint64 // PA base of the covering page
+	prev, next int32
 }
 
 // IOMMU is a single translation unit with its IO-TLB and walker pool.
 type IOMMU struct {
 	cfg     Config
 	walkers *sim.MultiServer
-	tlb     []tlbEntry
-	clock   uint64
-	maps    []mapping
+	maps    []mapping // sorted by iova, non-overlapping
+
+	// IO-TLB: fixed entry arena + hash index + intrusive LRU list.
+	tlb        []tlbEntry // len = live entries, cap = TLBEntries
+	index      map[tlbKey]int32
+	head, tail int32
 
 	// Statistics.
 	Hits   uint64
@@ -105,11 +126,29 @@ func New(k *sim.Kernel, cfg Config) *IOMMU {
 	return &IOMMU{
 		cfg:     cfg,
 		walkers: sim.NewMultiServer(k, cfg.Walkers),
+		tlb:     make([]tlbEntry, 0, cfg.TLBEntries),
+		index:   make(map[tlbKey]int32, cfg.TLBEntries),
+		head:    -1,
+		tail:    -1,
 	}
 }
 
 // Config returns the configuration.
 func (u *IOMMU) Config() Config { return u.cfg }
+
+// lowerBound returns the first index whose mapping starts above iova.
+func (u *IOMMU) lowerBound(iova uint64) int {
+	lo, hi := 0, len(u.maps)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if u.maps[mid].iova <= iova {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
 
 // Map installs a translation of size bytes from IOVA to PA with the
 // given page granularity. All addresses must be aligned to pageSize and
@@ -122,34 +161,40 @@ func (u *IOMMU) Map(iova, pa uint64, size int, pageSize int) error {
 	if iova%ps != 0 || pa%ps != 0 || uint64(size)%ps != 0 {
 		return ErrMisaligned
 	}
-	for _, m := range u.maps {
-		if iova < m.iova+m.size && m.iova < iova+uint64(size) {
-			return ErrOverlap
-		}
+	// Sorted + non-overlapping: only the neighbors can collide.
+	i := u.lowerBound(iova)
+	if i > 0 && iova < u.maps[i-1].iova+u.maps[i-1].size {
+		return ErrOverlap
 	}
-	u.maps = append(u.maps, mapping{iova: iova, pa: pa, size: uint64(size), pageSize: ps})
+	if i < len(u.maps) && u.maps[i].iova < iova+uint64(size) {
+		return ErrOverlap
+	}
+	u.maps = append(u.maps, mapping{})
+	copy(u.maps[i+1:], u.maps[i:])
+	u.maps[i] = mapping{iova: iova, pa: pa, size: uint64(size), pageSize: ps}
 	return nil
 }
 
 // Unmap removes the mapping starting at iova and flushes the IO-TLB (as
 // the kernel's unmap path does with an invalidation).
 func (u *IOMMU) Unmap(iova uint64) error {
-	for i, m := range u.maps {
-		if m.iova == iova {
-			u.maps = append(u.maps[:i], u.maps[i+1:]...)
-			u.InvalidateAll()
-			return nil
-		}
+	i := u.lowerBound(iova) - 1
+	if i >= 0 && u.maps[i].iova == iova {
+		u.maps = append(u.maps[:i], u.maps[i+1:]...)
+		u.InvalidateAll()
+		return nil
 	}
 	return fmt.Errorf("%w: iova %#x", ErrUnmapped, iova)
 }
 
-// lookupMapping finds the mapping covering iova.
+// lookupMapping finds the mapping covering iova by binary search.
 func (u *IOMMU) lookupMapping(iova uint64) (mapping, bool) {
-	for _, m := range u.maps {
-		if iova >= m.iova && iova < m.iova+m.size {
-			return m, true
-		}
+	i := u.lowerBound(iova) - 1
+	if i < 0 {
+		return mapping{}, false
+	}
+	if m := u.maps[i]; iova < m.iova+m.size {
+		return m, true
 	}
 	return mapping{}, false
 }
@@ -174,43 +219,73 @@ func (u *IOMMU) Translate(at sim.Time, iova uint64) (Result, error) {
 	}
 	pageBase := iova / m.pageSize * m.pageSize
 	pa := m.pa + (iova - m.iova)
-	u.clock++
-	for i := range u.tlb {
-		e := &u.tlb[i]
-		if e.pageSize == m.pageSize && e.pageBase == pageBase {
-			e.use = u.clock
-			u.Hits++
-			return Result{PA: pa, Ready: at + u.cfg.HitLatency, Hit: true}, nil
-		}
+	if i, ok := u.index[tlbKey{pageBase, m.pageSize}]; ok {
+		u.touch(i)
+		u.Hits++
+		return Result{PA: pa, Ready: at + u.cfg.HitLatency, Hit: true}, nil
 	}
 	u.Misses++
 	ready := u.walkers.ScheduleAt(at, u.cfg.WalkLatency)
-	u.install(tlbEntry{
-		pageBase: pageBase,
-		pageSize: m.pageSize,
-		pa:       m.pa + (pageBase - m.iova),
-		use:      u.clock,
-	})
+	u.install(tlbKey{pageBase, m.pageSize}, m.pa+(pageBase-m.iova))
 	return Result{PA: pa, Ready: ready, Hit: false}, nil
 }
 
-// install inserts a TLB entry, evicting the LRU entry when full.
-func (u *IOMMU) install(e tlbEntry) {
-	if len(u.tlb) < u.cfg.TLBEntries {
-		u.tlb = append(u.tlb, e)
+// touch moves entry i to the list head (most recently used).
+func (u *IOMMU) touch(i int32) {
+	if u.head == i {
 		return
 	}
-	victim := 0
-	for i := range u.tlb {
-		if u.tlb[i].use < u.tlb[victim].use {
-			victim = i
+	e := &u.tlb[i]
+	u.tlb[e.prev].next = e.next
+	if e.next >= 0 {
+		u.tlb[e.next].prev = e.prev
+	} else {
+		u.tail = e.prev
+	}
+	e.prev = -1
+	e.next = u.head
+	u.tlb[u.head].prev = i
+	u.head = i
+}
+
+// install inserts a TLB entry at the list head, evicting the LRU tail
+// when the arena is full.
+func (u *IOMMU) install(key tlbKey, pa uint64) {
+	var i int32
+	if len(u.tlb) < u.cfg.TLBEntries {
+		i = int32(len(u.tlb))
+		u.tlb = append(u.tlb, tlbEntry{})
+	} else {
+		i = u.tail
+		e := &u.tlb[i]
+		delete(u.index, e.key)
+		u.tail = e.prev
+		if u.tail >= 0 {
+			u.tlb[u.tail].next = -1
+		} else {
+			u.head = -1
 		}
 	}
-	u.tlb[victim] = e
+	e := &u.tlb[i]
+	e.key, e.pa = key, pa
+	e.prev = -1
+	e.next = u.head
+	if u.head >= 0 {
+		u.tlb[u.head].prev = i
+	}
+	u.head = i
+	if u.tail < 0 {
+		u.tail = i
+	}
+	u.index[key] = i
 }
 
 // InvalidateAll flushes the IO-TLB.
-func (u *IOMMU) InvalidateAll() { u.tlb = u.tlb[:0] }
+func (u *IOMMU) InvalidateAll() {
+	u.tlb = u.tlb[:0]
+	clear(u.index)
+	u.head, u.tail = -1, -1
+}
 
 // TLBOccupancy returns the number of valid IO-TLB entries.
 func (u *IOMMU) TLBOccupancy() int { return len(u.tlb) }

@@ -229,6 +229,91 @@ func TestConfigClamping(t *testing.T) {
 	}
 }
 
+// Mappings installed out of IOVA order must resolve exactly like
+// in-order installs: Map keeps the table sorted for the binary search.
+func TestMapOutOfOrderLookup(t *testing.T) {
+	_, u := newTestIOMMU(8, 1)
+	regions := []struct{ iova, pa uint64 }{
+		{0x40000, 0x940000}, {0x10000, 0x910000}, {0x30000, 0x930000}, {0x20000, 0x920000},
+	}
+	for _, r := range regions {
+		if err := u.Map(r.iova, r.pa, 4*Page4K, Page4K); err != nil {
+			t.Fatalf("map %#x: %v", r.iova, err)
+		}
+	}
+	for _, r := range regions {
+		res, err := u.Translate(0, r.iova+0x1040)
+		if err != nil {
+			t.Fatalf("translate %#x: %v", r.iova, err)
+		}
+		if want := r.pa + 0x1040; res.PA != want {
+			t.Errorf("PA for %#x = %#x, want %#x", r.iova, res.PA, want)
+		}
+	}
+	// Gaps between the regions still fault.
+	if _, err := u.Translate(0, 0x10000+4*Page4K); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("gap translate: %v", err)
+	}
+	// Overlaps are rejected against sorted neighbors on both sides.
+	if err := u.Map(0x0f000, 0, 2*Page4K, Page4K); err != ErrOverlap {
+		t.Errorf("left-overlap: %v", err)
+	}
+	if err := u.Map(0x33000, 0, Page4K, Page4K); err != ErrOverlap {
+		t.Errorf("inside-overlap: %v", err)
+	}
+}
+
+func TestUnmapMiddleKeepsNeighbors(t *testing.T) {
+	_, u := newTestIOMMU(8, 1)
+	for _, iova := range []uint64{0x10000, 0x20000, 0x30000} {
+		if err := u.Map(iova, iova+0x900000, 4*Page4K, Page4K); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := u.Unmap(0x20000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := u.Translate(0, 0x20000); !errors.Is(err, ErrUnmapped) {
+		t.Errorf("unmapped middle still translates: %v", err)
+	}
+	for _, iova := range []uint64{0x10000, 0x30000} {
+		if _, err := u.Translate(0, iova); err != nil {
+			t.Errorf("neighbor %#x lost: %v", iova, err)
+		}
+	}
+}
+
+// Translate is on every DMA's critical path; both the hit path (index
+// lookup + LRU touch) and the steady-state miss path (binary search,
+// walker reservation, tail eviction + reinstall) must not allocate.
+// BenchmarkIOMMUTranslate reports the same property; this fails CI.
+func TestTranslateZeroAlloc(t *testing.T) {
+	_, u := newTestIOMMU(64, 6)
+	window := 16 << 20
+	if err := u.Map(0, 1<<30, window, Page4K); err != nil {
+		t.Fatal(err)
+	}
+	var iova uint64
+	hits := testing.AllocsPerRun(1000, func() {
+		if _, err := u.Translate(0, iova%uint64(64*Page4K)); err != nil {
+			t.Fatal(err)
+		}
+		iova += 64
+	})
+	if hits != 0 {
+		t.Errorf("hit path allocates %.1f/op, want 0", hits)
+	}
+	misses := testing.AllocsPerRun(1000, func() {
+		if _, err := u.Translate(0, iova); err != nil {
+			t.Fatal(err)
+		}
+		iova += Page4K // new page every access: all misses, all evictions
+	})
+	if misses != 0 {
+		t.Errorf("miss path allocates %.1f/op, want 0", misses)
+	}
+}
+
 func TestResetStats(t *testing.T) {
 	_, u := newTestIOMMU(4, 1)
 	u.Map(0, 0, Page4K, Page4K)

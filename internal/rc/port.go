@@ -439,7 +439,7 @@ func (p *Port) DMAReadOrdered(at sim.Time, dma uint64, sz int, orderAfter sim.Ti
 		// Root-complex processing.
 		procDone := p.sock.pipe.ScheduleAt(arrive, p.sock.pipeLatency+p.jitter())
 		// Address translation.
-		pa, ready, terr := p.r.translate(procDone, pos)
+		pa, ready, terr := p.r.translate(procDone, p.sock, pos)
 		if terr != nil {
 			return ReadResult{}, terr
 		}
@@ -531,7 +531,7 @@ func (p *Port) DMAWrite(at sim.Time, dma uint64, sz int) (WriteResult, error) {
 			res.LinkDone = txDone
 		}
 		procDone := p.sock.pipe.ScheduleAt(arrive, p.sock.pipeLatency+p.jitter())
-		pa, ready, terr := p.r.translate(procDone, pos)
+		pa, ready, terr := p.r.translate(procDone, p.sock, pos)
 		if terr != nil {
 			return WriteResult{}, terr
 		}

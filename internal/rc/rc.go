@@ -129,6 +129,11 @@ type SocketConfig struct {
 	// fabrics install a dedicated per-island stream here so islands
 	// consume no shared randomness.
 	RNG *rand.Rand
+	// IOMMU is this socket's translation unit, modeling VT-d's
+	// per-socket DRHD units. Nil falls back to the router-wide unit
+	// (or to no translation when that is nil too), so the historical
+	// single-unit and IOMMU-off configurations are unchanged.
+	IOMMU *iommu.IOMMU
 }
 
 // Socket is one CPU socket's root-complex pipeline: ports and switch
@@ -140,10 +145,15 @@ type Socket struct {
 	pipeLatency sim.Time
 	jitter      Jitter
 	rng         *rand.Rand
+	mmu         *iommu.IOMMU // per-socket translation unit (nil = router-wide)
 }
 
 // Node returns the NUMA node this socket's memory controller owns.
 func (s *Socket) Node() int { return s.node }
+
+// IOMMU returns this socket's translation unit, or nil when the socket
+// translates through the router-wide unit (or not at all).
+func (s *Socket) IOMMU() *iommu.IOMMU { return s.mmu }
 
 // InterconnectConfig models the socket-to-socket interconnect (QPI/UPI)
 // a DMA crosses when its ingress socket is not the target's home.
@@ -243,6 +253,7 @@ func (r *RootComplex) AddSocket(cfg SocketConfig) (*Socket, error) {
 		pipeLatency: cfg.PipeLatency,
 		jitter:      cfg.Jitter,
 		rng:         rng,
+		mmu:         cfg.IOMMU,
 	}
 	r.sockets = append(r.sockets, s)
 	return s, nil
@@ -320,13 +331,20 @@ func (r *RootComplex) home(pa uint64) int {
 	return r.amap.HomeOf(pa)
 }
 
-// translate resolves a DMA address at the given time, returning the
-// physical address and the time the request may proceed.
-func (r *RootComplex) translate(at sim.Time, dma uint64) (uint64, sim.Time, error) {
-	if r.mmu == nil {
+// translate resolves a DMA address ingested by sock at the given time,
+// returning the physical address and the time the request may proceed.
+// The socket's own translation unit (VT-d per-socket DRHD scope) wins;
+// otherwise the router-wide unit applies; with neither, addresses pass
+// through untranslated.
+func (r *RootComplex) translate(at sim.Time, sock *Socket, dma uint64) (uint64, sim.Time, error) {
+	mmu := r.mmu
+	if sock != nil && sock.mmu != nil {
+		mmu = sock.mmu
+	}
+	if mmu == nil {
 		return dma, at, nil
 	}
-	res, err := r.mmu.Translate(at, dma)
+	res, err := mmu.Translate(at, dma)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -21,7 +21,10 @@
 //	                                 results are byte-identical at every
 //	                                 value, so it is not part of the
 //	                                 cache key), set=key=v1,v2
-//	                                 (repeatable axis/base overrides).
+//	                                 (repeatable axis/base overrides),
+//	                                 and ber= / cto= / retrain=
+//	                                 (validated fault-injection sugar
+//	                                 for the matching set= override).
 //	                                 Returns 202 with the job id.
 //	GET    /v1/sweeps/{id}           job status and cache accounting.
 //	GET    /v1/sweeps/{id}/results   the emitted grid; ?format= selects
@@ -222,14 +225,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	q := r.URL.Query()
 	overrides = append(overrides, q["set"]...)
-	// ?ber= is sugar for set=ber=...: fault injection is a first-class
-	// what-if axis, so it gets a dedicated query parameter.
+	// ?ber=, ?cto= and ?retrain= are sugar for set=<key>=...: fault
+	// injection is a first-class what-if axis, so each knob gets a
+	// dedicated query parameter with the same validation surface.
 	if ber := q.Get("ber"); ber != "" {
 		if _, err := sweep.ParseBER(ber); err != nil {
 			apiError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
 		overrides = append(overrides, "ber="+ber)
+	}
+	if cto := q.Get("cto"); cto != "" {
+		if _, err := sweep.ParseDuration(cto); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		overrides = append(overrides, "cto="+cto)
+	}
+	if retrain := q.Get("retrain"); retrain != "" {
+		if _, err := sweep.ParseDuration(retrain); err != nil {
+			apiError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		overrides = append(overrides, "retrain="+retrain)
 	}
 	if err := spec.ApplyOverrides(overrides); err != nil {
 		apiError(w, http.StatusBadRequest, "%v", err)

@@ -515,3 +515,30 @@ func TestBerQueryParameter(t *testing.T) {
 		t.Errorf("400 body %s does not explain the bad BER", raw)
 	}
 }
+
+// TestFaultQueryParameters: ?cto= and ?retrain= mirror ?ber= — each is
+// validated sugar for the matching set= override, with the same 400
+// surface on a malformed value.
+func TestFaultQueryParameters(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	for _, q := range []string{"?cto=50us", "?retrain=1ms", "?ber=1e-6&cto=50us&retrain=1ms"} {
+		sub := submit(t, ts, testSpec, q)
+		waitState(t, ts, sub.ID, StateDone)
+	}
+
+	for _, bad := range []string{"?cto=fast", "?retrain=-3"} {
+		resp, err := http.Post(ts.URL+"/v1/sweeps"+bad, "application/json", strings.NewReader(testSpec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s (want 400)", bad, resp.StatusCode, raw)
+		}
+		if !strings.Contains(string(raw), "duration") {
+			t.Errorf("%s: 400 body %s does not explain the bad duration", bad, raw)
+		}
+	}
+}

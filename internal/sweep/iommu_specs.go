@@ -1,0 +1,40 @@
+package sweep
+
+// The IOMMU-scaling sweep: how translation-unit scope changes workload
+// throughput and tail latency as endpoint count grows. A global-scope
+// unit puts one IO-TLB and one walker pool on every DMA path, so misses
+// from all endpoints contend; per-socket DRHD-style units split that
+// state along the socket boundary. Registered here (rather than in
+// internal/report) because the paper's single-adapter setup cannot
+// express multi-unit translation.
+func init() {
+	Register(&Spec{
+		Name:  "iommu-scale",
+		Title: "IOMMU scope vs endpoint count",
+		Description: "N NICs with DMA translated through the IOMMU, split across " +
+			"both sockets with local buffers: one global translation unit against " +
+			"per-socket units as N grows 1..8",
+		XAxis:  "endpoints",
+		XLabel: "endpoints",
+		YLabel: "pps / latency (ns)",
+		Axes: []Axis{
+			IntAxis("endpoints", 1, 2, 4, 8),
+			StrAxis("iommuscope", "global", "per-socket"),
+		},
+		Base: map[string]string{
+			"bench":   BenchWorkload,
+			"system":  "NFP6000-BDW",
+			"iommu":   "true",
+			"socket":  "split",
+			"buffers": "local",
+			"queues":  "1",
+			"sizes":   "1500",
+		},
+		Probes: []Probe{
+			{Label: "pps", Metric: MetricPPS},
+			{Label: "p99_ns", Metric: MetricP99},
+			{Label: "epps_min", Metric: MetricEPPSMin},
+			{Label: "epps_max", Metric: MetricEPPSMax},
+		},
+	})
+}

@@ -380,9 +380,9 @@ var (
 	// systemKeys configure the simulator instance (sysconf.Options and
 	// the link) and apply to every benchmark kind.
 	systemKeys = []string{
-		"bench", "ber", "buffer", "cto", "gen", "iommu", "lanes", "mps",
-		"mrrs", "n", "node", "nojitter", "retrain", "seed", "sp",
-		"system", "warmup",
+		"bench", "ber", "buffer", "cto", "gen", "iommu", "iommuscope",
+		"lanes", "mps", "mrrs", "n", "node", "nojitter", "retrain",
+		"seed", "sp", "system", "warmup",
 	}
 	// microKeys are the pcie-bench micro-benchmark parameters
 	// (bench.Params) of the latency/bandwidth/loopback kinds.
@@ -464,7 +464,7 @@ func unknownKeyErr(benchKind string) error {
 // them: the shared instance is built once from the cell assignment.
 var optLevelKeys = map[string]bool{
 	"system": true, "seed": true, "buffer": true, "node": true,
-	"iommu": true, "sp": true, "nojitter": true,
+	"iommu": true, "iommuscope": true, "sp": true, "nojitter": true,
 	"gen": true, "lanes": true, "mps": true, "mrrs": true,
 	"endpoints": true, "switch": true, "socket": true, "p2p": true,
 	"buffers": true,
@@ -549,6 +549,8 @@ func resolveConfig(kv map[string]string) (Config, error) {
 			cfg.Opt.BufferNode, err = ParseSize(v)
 		case "iommu":
 			cfg.Opt.IOMMU, err = parseBool(v)
+		case "iommuscope":
+			cfg.Opt.IOMMUScope, err = topo.ParseIOMMUScope(v)
 		case "sp":
 			cfg.Opt.SuperPages, err = parseBool(v)
 		case "nojitter":

@@ -179,6 +179,12 @@ type Options struct {
 	// IOMMUConfig overrides the default IOMMU calibration (64 entries,
 	// 330ns walks, 6 walkers) when non-nil.
 	IOMMUConfig *iommu.Config
+	// IOMMUScope selects how many translation units serve the fabric
+	// when IOMMU is set: "global" (or empty, the default) models one
+	// unit on every DMA path; "per-socket" gives each socket its own
+	// DRHD-style unit, so endpoints on different sockets stop sharing
+	// IO-TLB and walker state. Ignored when IOMMU is false.
+	IOMMUScope string
 	// SuperPages maps the buffer with the allocation's natural page
 	// size; false forces 4KB entries (the paper's sp_off).
 	SuperPages bool
@@ -293,6 +299,11 @@ func (s System) TopoSpec(shape topo.Shape, opt Options) (topo.Spec, error) {
 			cfg = *opt.IOMMUConfig
 		}
 		spec.IOMMU = &cfg
+		scope, err := topo.ParseIOMMUScope(opt.IOMMUScope)
+		if err != nil {
+			return topo.Spec{}, fmt.Errorf("sysconf: %s: %w", s.Name, err)
+		}
+		spec.IOMMUScope = scope
 	}
 
 	jitter := s.Jitter
@@ -396,11 +407,19 @@ func (s System) Build(opt Options) (*Instance, error) {
 		return nil, err
 	}
 	ep := f.Endpoints[0]
+	mmu := f.IOMMU
+	if mmu == nil {
+		// A per-socket-scoped degenerate build has exactly one unit;
+		// surface it so callers see the IOMMU regardless of scope.
+		if units := f.IOMMUUnits(); len(units) == 1 {
+			mmu = units[0]
+		}
+	}
 	return &Instance{
 		System: s,
 		Kernel: f.Kernel,
 		Mem:    f.Mem,
-		IOMMU:  f.IOMMU,
+		IOMMU:  mmu,
 		Host:   f.Host,
 		RC:     f.RC,
 		Engine: ep.Engine,

@@ -132,6 +132,34 @@ func TestBuildWithIOMMU(t *testing.T) {
 	}
 }
 
+// TestBuildIOMMUScope: the scope option validates up front, a
+// per-socket degenerate build still surfaces its single unit on the
+// Instance, and the unit serves translations exactly like the global
+// one — scope changes unit topology, not addressing.
+func TestBuildIOMMUScope(t *testing.T) {
+	s, _ := ByName("NFP6000-BDW")
+	if _, err := s.Build(Options{IOMMU: true, IOMMUScope: "per-core", BufferSize: 8 << 20}); err == nil {
+		t.Fatal("bad IOMMU scope accepted")
+	}
+	inst, err := s.Build(Options{IOMMU: true, IOMMUScope: "per-socket", BufferSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.IOMMU == nil {
+		t.Fatal("per-socket degenerate build did not surface its translation unit")
+	}
+	if _, err := inst.IOMMU.Translate(0, inst.Buffer.DMAAddr(0)); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := s.Build(Options{IOMMU: true, BufferSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := inst.Buffer.DMAAddr(0), ref.Buffer.DMAAddr(0); got != want {
+		t.Errorf("per-socket DMA address %#x differs from global %#x; layout must be scope-independent", got, want)
+	}
+}
+
 func TestBuildRemoteBuffer(t *testing.T) {
 	s, _ := ByName("NFP6000-BDW")
 	inst, err := s.Build(Options{BufferNode: 1, BufferSize: 1 << 20})

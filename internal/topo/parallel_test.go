@@ -251,11 +251,12 @@ func TestParallelFabricRejectsCrossDomainTraffic(t *testing.T) {
 	}
 }
 
-// TestParallelFallbacks pins the partitioning policy edges: IOMMU
-// translation state is global and a single-endpoint shape has nothing
-// to split, so both stay serial — while jitter, shared buffer nodes
-// and shared switches no longer force a serial build (jitter draws a
-// per-island stream; coupled islands replay through a hub).
+// TestParallelFallbacks pins the partitioning policy edges: a
+// single-endpoint shape has nothing to split and stays serial — while
+// jitter, shared buffer nodes, shared switches and IOMMU translation
+// no longer force a serial build (jitter draws a per-island stream;
+// coupled islands replay through a hub; a global-scope IOMMU binds to
+// the hub while per-socket units ride their socket's island).
 func TestParallelFallbacks(t *testing.T) {
 	sys, err := sysconf.ByName("NFP6000-BDW")
 	if err != nil {
@@ -270,8 +271,21 @@ func TestParallelFallbacks(t *testing.T) {
 		return fab
 	}
 	shape := topo.Shape{Endpoints: 4, Placement: "split", LocalBuffers: true}
-	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, IOMMU: true, BufferSize: 1 << 20}, shape); fab.Parallel() {
-		t.Error("IOMMU fabric partitioned; translation state is global")
+	// A global-scope IOMMU sits on every DMA path: everyone couples into
+	// one island, which still parallelizes through the hub.
+	if fab := build(sysconf.Options{SimWorkers: 4, NoJitter: true, IOMMU: true, BufferSize: 1 << 20}, shape); !fab.Parallel() || len(fab.Coupled) != 1 {
+		t.Error("global-scope IOMMU fabric did not build one coupled island")
+	} else if got := len(fab.Coupled[0].Endpoints); got != 4 {
+		t.Errorf("global-scope IOMMU coupled group holds %d endpoints, want 4", got)
+	}
+	// Per-socket units add no coupling of their own: the split shape
+	// partitions along sockets exactly as it does without an IOMMU.
+	perSock := sysconf.Options{SimWorkers: 4, NoJitter: true, IOMMU: true,
+		IOMMUScope: topo.IOMMUScopePerSocket, BufferSize: 1 << 20}
+	if fab := build(perSock, shape); !reflect.DeepEqual(fab.Islands, [][]int{{0, 2}, {1, 3}}) {
+		t.Errorf("per-socket IOMMU islands %v, want {0,2} and {1,3}", fab.Islands)
+	} else if got := len(fab.IOMMUUnits()); got != 2 {
+		t.Errorf("per-socket IOMMU fabric has %d units, want one per socket (2)", got)
 	}
 	if fab := build(sysconf.Options{SimWorkers: 4, BufferSize: 1 << 20}, shape); !fab.Parallel() {
 		t.Error("jittery split fabric stayed serial; each island owns its jitter stream")

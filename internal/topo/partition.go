@@ -19,19 +19,24 @@ import "math/rand"
 //     the one xbus resource, so all such endpoints couple,
 //   - a declared peer pairing (Spec.Peers): static P2P intent means
 //     their BAR traffic must route inside one island's address map
-//     instead of hitting the runtime cross-domain refusal.
+//     instead of hitting the runtime cross-domain refusal,
+//   - the same IOMMU translation unit: a global-scope unit sits on
+//     every DMA path (one IO-TLB, one walker pool, one LRU clock), so
+//     it couples all endpoints; per-socket units (VT-d DRHD scope)
+//     are owned by their ingress socket, which the same-socket rule
+//     already couples, so they add no edges of their own.
 //
 // A multi-endpoint island no longer forces a serial build: its
 // endpoints get their own event kernels, the shared fabric state binds
 // to a hub kernel, and traffic replays through the hub at window
 // barriers in serial order (see buildLinked and workload's merge
-// protocol). Root-complex jitter does not serialize anything either —
-// each island's sockets sample a dedicated random stream keyed by
-// island id (islandRNG), so islands consume no shared randomness.
-//
-// One spec feature still serializes the whole fabric: an IOMMU puts
-// one translation cache and walker pool on every DMA path, and that
-// state has no island-local or hub-replayable decomposition yet.
+// protocol). IOMMU state rides the same protocol — the unit binds to
+// the kernel of the island owning it, and since every Translate on a
+// coupled fabric happens during hub replay, TLB fills, LRU touches and
+// walker occupancy evolve in exactly the serial schedule. Root-complex
+// jitter does not serialize anything either — each island's sockets
+// sample a dedicated random stream keyed by island id (islandRNG), so
+// islands consume no shared randomness.
 //
 // Undeclared peer-to-peer BAR traffic cannot be seen statically; it is
 // guarded at run time instead (rc rejects DMA that would cross
@@ -79,18 +84,16 @@ func (s Spec) socketOf(i int) int {
 // means the spec cannot be parallelized and must build serially.
 func islandsOf(spec Spec) [][]int {
 	n := len(spec.Endpoints)
-	all := func() [][]int {
-		one := make([]int, n)
-		for i := range one {
-			one[i] = i
-		}
-		return [][]int{one}
-	}
-	if spec.IOMMU != nil {
-		return all()
-	}
-
 	u := newUnionFind(n)
+	// A global-scope IOMMU is one mutable translation unit on every DMA
+	// path: everything couples. Per-socket units need no edges here —
+	// each is owned by exactly one ingress socket, and the bySocket
+	// rule below already couples the endpoints sharing a socket.
+	if spec.IOMMU != nil && !spec.perSocketIOMMU() {
+		for i := 1; i < n; i++ {
+			u.union(0, i)
+		}
+	}
 	bySwitch := map[int]int{}
 	bySocket := map[int]int{}
 	byNode := map[int]int{}

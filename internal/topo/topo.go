@@ -21,6 +21,7 @@ package topo
 
 import (
 	"fmt"
+	"strings"
 
 	"pciebench/internal/device"
 	"pciebench/internal/fault"
@@ -98,6 +99,33 @@ type EndpointSpec struct {
 	BAR *BARSpec
 }
 
+// IOMMU scope values (Spec.IOMMUScope).
+const (
+	// IOMMUScopeGlobal is the historical single-unit form: one
+	// translation unit (IO-TLB + walker pool) on every DMA path,
+	// whatever socket ingests the traffic. The empty scope means the
+	// same thing.
+	IOMMUScopeGlobal = "global"
+	// IOMMUScopePerSocket models VT-d's multiple DRHD units: each
+	// socket's root ports translate through a unit of their own, with
+	// its own IO-TLB, walker pool and Hits/Misses/Faults counters.
+	// Endpoints ingressing at different sockets then share no
+	// translation state and can partition into independent islands.
+	IOMMUScopePerSocket = "per-socket"
+)
+
+// ParseIOMMUScope canonicalizes an IOMMU scope string ("" and "global"
+// both mean the global single-unit scope).
+func ParseIOMMUScope(v string) (string, error) {
+	switch strings.ToLower(strings.TrimSpace(v)) {
+	case "", IOMMUScopeGlobal:
+		return IOMMUScopeGlobal, nil
+	case IOMMUScopePerSocket:
+		return IOMMUScopePerSocket, nil
+	}
+	return "", fmt.Errorf("topo: unknown IOMMU scope %q (want %s or %s)", v, IOMMUScopeGlobal, IOMMUScopePerSocket)
+}
+
 // Spec is a complete topology description.
 type Spec struct {
 	// Seed drives all simulation randomness (0 uses 1).
@@ -107,6 +135,11 @@ type Spec struct {
 	Mem mem.Config
 	// IOMMU, when non-nil, interposes an IOMMU in every DMA path.
 	IOMMU *iommu.Config
+	// IOMMUScope selects how many translation units serve the fabric
+	// when IOMMU is non-nil: IOMMUScopeGlobal ("" or "global", the
+	// default) builds one unit shared by every socket;
+	// IOMMUScopePerSocket builds one unit per socket.
+	IOMMUScope string
 	// Interconnect, when non-nil, models explicit inter-socket
 	// bandwidth contention on top of the memory system's RemoteLatency.
 	Interconnect *rc.InterconnectConfig
@@ -122,11 +155,13 @@ type Spec struct {
 	// SimWorkers asks Build for a conservative-parallel fabric on up
 	// to this many worker goroutines (<= 1, the default, builds the
 	// serial single-kernel form). Parallelism materializes whenever
-	// the spec has more than one endpoint and no IOMMU: independent
-	// endpoints become islands of their own, and coupled groups run
-	// their endpoints on linked kernels that replay shared-fabric
-	// traffic through a hub at window barriers. Results are
-	// byte-identical either way.
+	// the spec has more than one endpoint: independent endpoints
+	// become islands of their own, and coupled groups run their
+	// endpoints on linked kernels that replay shared-fabric traffic
+	// through a hub at window barriers. IOMMU specs participate too —
+	// a global-scope unit couples everything into one hub-replayed
+	// group, while per-socket units couple only the endpoints sharing
+	// a socket. Results are byte-identical either way.
 	SimWorkers int
 	// Faults, when enabled, arms deterministic fault injection on
 	// every endpoint: BER-driven link corruption/replay, completion
@@ -177,10 +212,19 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("topo: peer pair %d pairs endpoint %d with itself", i, pr[0])
 		}
 	}
+	if _, err := ParseIOMMUScope(s.IOMMUScope); err != nil {
+		return err
+	}
 	if err := s.Faults.Validate(); err != nil {
 		return fmt.Errorf("topo: %w", err)
 	}
 	return nil
+}
+
+// perSocketIOMMU reports whether the spec builds one translation unit
+// per socket (only meaningful when an IOMMU is configured at all).
+func (s Spec) perSocketIOMMU() bool {
+	return s.IOMMU != nil && s.IOMMUScope == IOMMUScopePerSocket
 }
 
 // Endpoint is one assembled device: its fabric port, DMA engine and
@@ -220,14 +264,19 @@ type CoupledGroup struct {
 // Fabric is an assembled topology, ready to run benchmarks and
 // workloads on every endpoint concurrently. On a serial build every
 // endpoint shares Kernel and RC; on a linked build (SimWorkers > 1,
-// several endpoints, no IOMMU) each island owns a kernel and router of
-// its own — a coupled island's kernel is its hub, with one extra
-// kernel per member endpoint — and Kernel/RC alias island 0's.
+// several endpoints) each island owns a kernel and router of its own —
+// a coupled island's kernel is its hub, with one extra kernel per
+// member endpoint — and Kernel/RC alias island 0's.
 type Fabric struct {
-	Spec      Spec
-	Kernel    *sim.Kernel
-	Mem       *mem.System
-	IOMMU     *iommu.IOMMU // nil when disabled
+	Spec   Spec
+	Kernel *sim.Kernel
+	Mem    *mem.System
+	// IOMMU is the fabric-wide translation unit (global scope); nil
+	// when the IOMMU is disabled or scoped per socket.
+	IOMMU *iommu.IOMMU
+	// IOMMUs holds the per-socket translation units, indexed by socket
+	// (IOMMUScopePerSocket only; nil otherwise).
+	IOMMUs    []*iommu.IOMMU
 	Host      *hostif.Host
 	RC        *rc.RootComplex
 	Switches  []*rc.Switch
@@ -267,6 +316,29 @@ func (f *Fabric) SimWorkers() int {
 // shared kernel on a serial build).
 func (f *Fabric) EndpointKernel(i int) *sim.Kernel { return f.epKernel[i] }
 
+// IOMMUUnits returns every translation unit of the fabric: the single
+// global-scope unit, or the per-socket units in socket order. Empty
+// when the IOMMU is disabled.
+func (f *Fabric) IOMMUUnits() []*iommu.IOMMU {
+	if f.IOMMUs != nil {
+		return f.IOMMUs
+	}
+	if f.IOMMU != nil {
+		return []*iommu.IOMMU{f.IOMMU}
+	}
+	return nil
+}
+
+// iommuFor returns the unit translating DMA ingested at the given
+// socket: its per-socket unit under per-socket scope, the global unit
+// otherwise (nil when the IOMMU is disabled).
+func (f *Fabric) iommuFor(sock int) *iommu.IOMMU {
+	if f.IOMMUs != nil {
+		return f.IOMMUs[sock]
+	}
+	return f.IOMMU
+}
+
 // barBase is where Build places auto-assigned BAR windows: far above
 // both the hostif physical-address layout and its IOVA range, so
 // device windows can never shadow host buffers.
@@ -299,7 +371,10 @@ func addEndpoint(f *Fabric, router *rc.RootComplex, k *sim.Kernel, i int, es End
 	if err != nil {
 		return fmt.Errorf("topo: endpoint %d: %w", i, err)
 	}
-	buf, err := f.Host.Alloc(es.BufferBytes, es.BufferNode, es.AllocMode, es.MapPage)
+	// The buffer maps into the unit of the socket whose root ports will
+	// ingest this endpoint's DMA; all units share one IOVA allocator,
+	// so the address layout is identical under either scope.
+	buf, err := f.Host.AllocIn(f.iommuFor(f.Spec.socketOf(i)), es.BufferBytes, es.BufferNode, es.AllocMode, es.MapPage)
 	if err != nil {
 		return fmt.Errorf("topo: endpoint %d: %w", i, err)
 	}
@@ -338,9 +413,11 @@ func addEndpoint(f *Fabric, router *rc.RootComplex, k *sim.Kernel, i int, es End
 // islandsOf) and built linked: independent endpoints get kernels of
 // their own, and coupled groups run each endpoint on its own kernel
 // with the shared fabric state on a hub kernel that replays their
-// traffic at window barriers. Only specs with an IOMMU — one
-// translation cache on every DMA path — and single-endpoint specs
-// stay on the serial single-kernel build.
+// traffic at window barriers. IOMMU state partitions the same way: a
+// global-scope unit binds to its (single) coupled group's hub, while
+// per-socket units bind to the kernel of the island owning their
+// socket. Only single-endpoint specs stay on the serial single-kernel
+// build.
 //
 // Either way, the sockets of islands beyond the first sample their
 // jitter from a per-island random stream derived from the spec seed
@@ -351,8 +428,7 @@ func Build(spec Spec) (*Fabric, error) {
 		return nil, err
 	}
 	islands := islandsOf(spec)
-	if spec.SimWorkers > 1 && spec.IOMMU == nil &&
-		(len(islands) > 1 || len(islands[0]) > 1) {
+	if spec.SimWorkers > 1 && (len(islands) > 1 || len(islands[0]) > 1) {
 		return buildLinked(spec, islands)
 	}
 	seed := spec.Seed
@@ -366,10 +442,21 @@ func Build(spec Spec) (*Fabric, error) {
 		return nil, fmt.Errorf("topo: %w", err)
 	}
 	var mmu *iommu.IOMMU
+	var units []*iommu.IOMMU
 	if spec.IOMMU != nil {
-		mmu = iommu.New(k, *spec.IOMMU)
+		if spec.perSocketIOMMU() {
+			units = make([]*iommu.IOMMU, len(spec.Sockets))
+			for i := range units {
+				units[i] = iommu.New(k, *spec.IOMMU)
+			}
+		} else {
+			mmu = iommu.New(k, *spec.IOMMU)
+		}
 	}
 	host := hostif.New(ms, mmu)
+	for _, u := range units {
+		host.AttachIOMMU(u)
+	}
 
 	router := rc.NewRouter(k, ms, mmu, host)
 	if spec.Interconnect != nil {
@@ -380,7 +467,7 @@ func Build(spec Spec) (*Fabric, error) {
 	for i, sc := range spec.Sockets {
 		sockets[i], err = router.AddSocket(rc.SocketConfig{
 			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots,
-			Jitter: sc.Jitter, RNG: sockRNG[i],
+			Jitter: sc.Jitter, RNG: sockRNG[i], IOMMU: unitAt(units, i),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
@@ -399,7 +486,7 @@ func Build(spec Spec) (*Fabric, error) {
 	}
 
 	f := &Fabric{
-		Spec: spec, Kernel: k, Mem: ms, IOMMU: mmu, Host: host,
+		Spec: spec, Kernel: k, Mem: ms, IOMMU: mmu, IOMMUs: units, Host: host,
 		RC: router, Switches: switches,
 		Kernels: []*sim.Kernel{k}, Routers: []*rc.RootComplex{router},
 	}
@@ -442,12 +529,8 @@ func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 	if err != nil {
 		return nil, fmt.Errorf("topo: %w", err)
 	}
-	// Build refuses to link IOMMU specs, so no translation state exists
-	// to share here.
-	host := hostif.New(ms, nil)
 
 	kernels := make([]*sim.Kernel, len(islands))
-	routers := make([]*rc.RootComplex, len(islands))
 	for d := range islands {
 		// Every kernel is seeded alike, which keeps the spec's
 		// single-seed contract: singleton islands draw no kernel
@@ -456,10 +539,6 @@ func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 		// serial issue order — so island 0's hub replays the serial
 		// kernel stream exactly.
 		kernels[d] = sim.New(seed)
-		routers[d] = rc.NewRouter(kernels[d], ms, nil, host)
-		if spec.Interconnect != nil {
-			routers[d].SetInterconnect(*spec.Interconnect)
-		}
 	}
 	epIsle := make([]int, len(spec.Endpoints))
 	for d, isl := range islands {
@@ -474,12 +553,43 @@ func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 		sockIsle[spec.socketOf(i)] = epIsle[i]
 	}
 
+	// Translation units bind to the kernel of the island owning them.
+	// A global-scope unit couples every endpoint into one island (the
+	// partitioner guarantees len(islands) == 1 then), so binding it to
+	// kernels[0] — that island's hub — means every Translate call runs
+	// in the hub's replay order: the serial schedule. Per-socket units
+	// bind wherever their socket builds.
+	var mmu *iommu.IOMMU
+	var units []*iommu.IOMMU
+	if spec.IOMMU != nil {
+		if spec.perSocketIOMMU() {
+			units = make([]*iommu.IOMMU, len(spec.Sockets))
+			for i := range units {
+				units[i] = iommu.New(kernels[sockIsle[i]], *spec.IOMMU)
+			}
+		} else {
+			mmu = iommu.New(kernels[0], *spec.IOMMU)
+		}
+	}
+	host := hostif.New(ms, mmu)
+	for _, u := range units {
+		host.AttachIOMMU(u)
+	}
+
+	routers := make([]*rc.RootComplex, len(islands))
+	for d := range islands {
+		routers[d] = rc.NewRouter(kernels[d], ms, mmu, host)
+		if spec.Interconnect != nil {
+			routers[d].SetInterconnect(*spec.Interconnect)
+		}
+	}
+
 	sockRNG := socketRNGs(spec, seed, islands)
 	sockets := make([]*rc.Socket, len(spec.Sockets))
 	for i, sc := range spec.Sockets {
 		sockets[i], err = routers[sockIsle[i]].AddSocket(rc.SocketConfig{
 			Node: sc.Node, PipeLatency: sc.PipeLatency, PipeSlots: sc.PipeSlots,
-			Jitter: sc.Jitter, RNG: sockRNG[i],
+			Jitter: sc.Jitter, RNG: sockRNG[i], IOMMU: unitAt(units, i),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("topo: socket %d: %w", i, err)
@@ -498,7 +608,7 @@ func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 	}
 
 	f := &Fabric{
-		Spec: spec, Kernel: kernels[0], Mem: ms, Host: host,
+		Spec: spec, Kernel: kernels[0], Mem: ms, IOMMU: mmu, IOMMUs: units, Host: host,
 		RC: routers[0], Switches: switches,
 		Kernels: kernels, Islands: islands, Routers: routers,
 	}
@@ -548,6 +658,15 @@ func buildLinked(spec Spec, islands [][]int) (*Fabric, error) {
 		}
 	}
 	return f, nil
+}
+
+// unitAt returns the per-socket unit for socket i, or nil when the
+// fabric has no per-socket units.
+func unitAt(units []*iommu.IOMMU, i int) *iommu.IOMMU {
+	if units == nil {
+		return nil
+	}
+	return units[i]
 }
 
 // groupLookahead returns a lower bound on the delay from a workload
